@@ -1,0 +1,153 @@
+//! One Criterion group per experiment: running `cargo bench` regenerates
+//! every table and figure in EXPERIMENTS.md (CI-sized parameters; the
+//! `experiments` binary in `dcmaint-scenarios` prints the full-sized
+//! tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcmaint_scenarios::experiments as exp;
+use std::hint::black_box;
+
+fn bench_e1_service_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_service_window");
+    g.sample_size(10);
+    g.bench_function("level_sweep", |b| {
+        b.iter(|| exp::e1::run_experiment(black_box(&exp::e1::E1Params::quick(1))))
+    });
+    g.finish();
+}
+
+fn bench_e2_escalation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_escalation");
+    g.sample_size(10);
+    g.bench_function("ladder", |b| {
+        b.iter(|| exp::e2::run_experiment(black_box(&exp::e2::E2Params::quick(2))))
+    });
+    g.finish();
+}
+
+fn bench_e3_cascade(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_cascade");
+    g.sample_size(10);
+    g.bench_function("actors", |b| {
+        b.iter(|| exp::e3::run_experiment(black_box(&exp::e3::E3Params::quick(3))))
+    });
+    g.finish();
+}
+
+fn bench_e4_proactive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_proactive");
+    g.sample_size(10);
+    g.bench_function("policies", |b| {
+        b.iter(|| exp::e4::run_experiment(black_box(&exp::e4::E4Params::quick(4))))
+    });
+    g.finish();
+}
+
+fn bench_e5_provisioning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_provisioning");
+    g.bench_function("advisor_sweep", |b| {
+        b.iter(|| exp::e5::run_experiment(black_box(&exp::e5::E5Params::standard())))
+    });
+    g.finish();
+}
+
+fn bench_e6_inspection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_inspection");
+    g.sample_size(20);
+    g.bench_function("core_sweep", |b| {
+        b.iter(|| exp::e6::run_experiment(black_box(&exp::e6::E6Params::quick(6))))
+    });
+    g.finish();
+}
+
+fn bench_e7_cdf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_repair_cdf");
+    g.sample_size(10);
+    g.bench_function("cdf_series", |b| {
+        b.iter(|| exp::e7::run_experiment(black_box(&exp::e7::E7Params::quick(7))))
+    });
+    g.finish();
+}
+
+fn bench_e8_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_topology");
+    g.sample_size(10);
+    g.bench_function("maintainability", |b| {
+        b.iter(|| exp::e8::run_experiment(black_box(&exp::e8::E8Params::quick(8))))
+    });
+    g.finish();
+}
+
+fn bench_e9_tail(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_tail_latency");
+    g.sample_size(10);
+    g.bench_function("flap_sweep", |b| {
+        b.iter(|| exp::e9::run_experiment(black_box(&exp::e9::E9Params::quick(9))))
+    });
+    g.finish();
+}
+
+fn bench_e10_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_fleet");
+    g.sample_size(10);
+    g.bench_function("sizing_sweep", |b| {
+        b.iter(|| exp::e10::run_experiment(black_box(&exp::e10::E10Params::quick(10))))
+    });
+    g.finish();
+}
+
+fn bench_e12_reconfig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_reconfig");
+    g.sample_size(10);
+    g.bench_function("tor_rewires", |b| {
+        b.iter(|| exp::e12::run_experiment(black_box(&exp::e12::E12Params::quick(12))))
+    });
+    g.finish();
+}
+
+fn bench_e13_timing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_timing");
+    g.sample_size(10);
+    g.bench_function("trough_arms", |b| {
+        b.iter(|| exp::e13::run_experiment(black_box(&exp::e13::E13Params::quick(13))))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let p = exp::ablations::AblationParams::quick(20);
+    g.bench_function("a1_codesign", |b| b.iter(|| exp::ablations::run_a1(black_box(&p))));
+    g.bench_function("a2_ladder", |b| b.iter(|| exp::ablations::run_a2(black_box(&p))));
+    g.bench_function("a3_diversity", |b| b.iter(|| exp::ablations::run_a3(black_box(&p))));
+    g.finish();
+}
+
+fn bench_e11_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_predictive");
+    g.sample_size(10);
+    g.bench_function("two_arms", |b| {
+        b.iter(|| exp::e11::run_experiment(black_box(&exp::e11::E11Params::quick(11))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_service_window,
+    bench_e2_escalation,
+    bench_e3_cascade,
+    bench_e4_proactive,
+    bench_e5_provisioning,
+    bench_e6_inspection,
+    bench_e7_cdf,
+    bench_e8_topology,
+    bench_e9_tail,
+    bench_e10_fleet,
+    bench_e11_predict,
+    bench_e12_reconfig,
+    bench_e13_timing,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Microbenchmarks of the simulator's hot paths: event-queue
+//! throughput, topology generation, routing, the fluid flow allocator,
+//! and one simulated day end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcmaint_dcnet::flows::{all_to_all, allocate};
+use dcmaint_dcnet::routing::{distances_from, ecmp_path};
+use dcmaint_dcnet::{gen, DiversityProfile, NetState};
+use dcmaint_des::{Scheduler, SimDuration, SimRng, SimTime};
+use dcmaint_scenarios::{run, ScenarioConfig};
+use maintctl::AutomationLevel;
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_scheduler");
+    g.bench_function("push_pop_100k", |b| {
+        b.iter(|| {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            for i in 0..100_000u32 {
+                s.schedule(SimTime::from_micros(u64::from(i % 977) * 1000), i);
+            }
+            let mut acc = 0u64;
+            while let Some(f) = s.pop() {
+                acc += u64::from(f.payload);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_topology_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_topology_gen");
+    let rng = SimRng::root(1);
+    g.bench_function("fat_tree_k8", |b| {
+        b.iter(|| gen::fat_tree(8, DiversityProfile::cloud_typical(), black_box(&rng)))
+    });
+    g.bench_function("jellyfish_64x10", |b| {
+        b.iter(|| gen::jellyfish(64, 10, 4, DiversityProfile::cloud_typical(), black_box(&rng)))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_routing");
+    let rng = SimRng::root(2);
+    let topo = gen::fat_tree(8, DiversityProfile::cloud_typical(), &rng);
+    let state = NetState::new(&topo);
+    let servers = topo.servers();
+    g.bench_function("bfs_fat_tree_k8", |b| {
+        b.iter(|| distances_from(black_box(&topo), &state, servers[0]))
+    });
+    g.bench_function("ecmp_path_fat_tree_k8", |b| {
+        b.iter(|| ecmp_path(black_box(&topo), &state, servers[0], servers[100], 7))
+    });
+    g.finish();
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_flows");
+    g.sample_size(20);
+    let rng = SimRng::root(3);
+    let topo = gen::leaf_spine(4, 8, 4, 1, DiversityProfile::standardized(), &rng);
+    let state = NetState::new(&topo);
+    let demands = all_to_all(&topo.servers(), 10.0);
+    g.bench_function("maxmin_allocate_992_demands", |b| {
+        b.iter(|| allocate(black_box(&topo), &state, &demands))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_end_to_end");
+    g.sample_size(10);
+    g.bench_function("one_simulated_day_l3", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::at_level(4, AutomationLevel::L3);
+            cfg.duration = SimDuration::from_days(1);
+            run(black_box(cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_topology_gen,
+    bench_routing,
+    bench_flows,
+    bench_end_to_end
+);
+criterion_main!(benches);

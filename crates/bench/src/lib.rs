@@ -1,0 +1,19 @@
+//! # dcmaint-bench — benchmark harness
+//!
+//! Two Criterion bench targets:
+//!
+//! * `benches/experiments.rs` — one group per experiment (E1–E11),
+//!   running the CI-sized parameter set of the exact runner that
+//!   regenerates the table/figure in EXPERIMENTS.md. `cargo bench -p
+//!   dcmaint-bench` therefore re-executes the entire evaluation.
+//! * `benches/kernel.rs` — microbenchmarks of the hot substrate paths:
+//!   event-queue throughput, topology generation, BFS/ECMP routing, and
+//!   a full end-to-end scenario day.
+//!
+//! The library portion only re-exports the experiment entry points with
+//! their quick parameter presets so benches and the `experiments` binary
+//! stay in lockstep.
+
+#![forbid(unsafe_code)]
+
+pub use dcmaint_scenarios::experiments;

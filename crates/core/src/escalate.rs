@@ -1,0 +1,221 @@
+//! The escalation policy engine — §3.2 as executable rules.
+//!
+//! "When a network link fails or flaps the first time a ticket is
+//! created for that link, the usual first step is to reseat the
+//! transceiver. … If the transceiver has been reseated in the past, and
+//! another ticket is generated for the same link within a time window,
+//! and the transceiver and cable are cleanable, then the next stage is
+//! to perform this cleaning process. … the next common action is then to
+//! replace the transceivers and ultimately the cable. … the final stage
+//! is to replace the NIC, line card, or switch."
+//!
+//! The engine sees only the link's cable medium and the repair history
+//! within the memory window — never the hidden root cause. Non-cleanable
+//! media (DAC/AEC/AOC, §3.2: "for many links the cables and transceivers
+//! are attached permanently") skip the cleaning rung; fully-integrated
+//! cables skip the transceiver-swap rung too (the cable *is* the
+//! transceiver pair).
+
+use dcmaint_dcnet::CableMedium;
+use dcmaint_des::SimDuration;
+use dcmaint_faults::RepairAction;
+
+/// Escalation configuration.
+#[derive(Debug, Clone)]
+pub struct EscalationConfig {
+    /// How long repair history counts against a link ("within a time
+    /// window", §3.2).
+    pub memory_window: SimDuration,
+    /// Re-attempts of the same rung allowed before climbing (reseating
+    /// twice is common practice before cleaning).
+    pub repeats_per_rung: u32,
+}
+
+impl Default for EscalationConfig {
+    fn default() -> Self {
+        EscalationConfig {
+            memory_window: SimDuration::from_days(14),
+            repeats_per_rung: 1,
+        }
+    }
+}
+
+/// The policy engine.
+#[derive(Debug, Clone, Default)]
+pub struct EscalationEngine {
+    cfg: EscalationConfig,
+}
+
+impl EscalationEngine {
+    /// Engine with the given config.
+    pub fn new(cfg: EscalationConfig) -> Self {
+        EscalationEngine { cfg }
+    }
+
+    /// The configured memory window (callers pass it to the ticket board
+    /// when fetching history).
+    pub fn memory_window(&self) -> SimDuration {
+        self.cfg.memory_window
+    }
+
+    /// The ladder applicable to a medium, in order.
+    pub fn ladder_for(&self, medium: CableMedium) -> Vec<RepairAction> {
+        RepairAction::LADDER
+            .iter()
+            .copied()
+            .filter(|a| match a {
+                RepairAction::CleanEndFace => medium.is_separable(),
+                // Integrated cables: swapping just the transceiver is
+                // impossible; the cable replacement covers it.
+                RepairAction::ReplaceTransceiver => medium.is_separable(),
+                _ => true,
+            })
+            .collect()
+    }
+
+    /// Decide the next action for a link given the actions already taken
+    /// within the memory window (from
+    /// [`TicketBoard::recent_actions`](dcmaint_tickets::TicketBoard::recent_actions)).
+    ///
+    /// Rule: walk the medium's ladder; the next action is the first rung
+    /// attempted fewer than `1 + repeats_per_rung` times, provided every
+    /// earlier rung has been attempted at least once. The top rung
+    /// repeats indefinitely (you can always swap the switch again).
+    pub fn next_action(&self, medium: CableMedium, recent: &[RepairAction]) -> RepairAction {
+        let ladder = self.ladder_for(medium);
+        let max_per_rung = 1 + self.cfg.repeats_per_rung;
+        for &rung in &ladder {
+            let count = recent.iter().filter(|&&a| a == rung).count() as u32;
+            if count < max_per_rung {
+                return rung;
+            }
+        }
+        *ladder.last().expect("ladder is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MPO: CableMedium = CableMedium::FiberMpo { cores: 8 };
+
+    fn engine() -> EscalationEngine {
+        EscalationEngine::new(EscalationConfig {
+            memory_window: SimDuration::from_days(14),
+            repeats_per_rung: 1,
+        })
+    }
+
+    #[test]
+    fn first_incident_reseats() {
+        let e = engine();
+        assert_eq!(e.next_action(MPO, &[]), RepairAction::Reseat);
+        assert_eq!(e.next_action(CableMedium::Dac, &[]), RepairAction::Reseat);
+    }
+
+    #[test]
+    fn second_rung_is_clean_for_separable_optics() {
+        let e = engine();
+        // One reseat in window → allowed one repeat; two → clean.
+        assert_eq!(
+            e.next_action(MPO, &[RepairAction::Reseat]),
+            RepairAction::Reseat
+        );
+        assert_eq!(
+            e.next_action(MPO, &[RepairAction::Reseat, RepairAction::Reseat]),
+            RepairAction::CleanEndFace
+        );
+    }
+
+    #[test]
+    fn integrated_cables_skip_cleaning_and_xcvr_swap() {
+        let e = engine();
+        let ladder = e.ladder_for(CableMedium::Aoc);
+        assert_eq!(
+            ladder,
+            vec![
+                RepairAction::Reseat,
+                RepairAction::ReplaceCable,
+                RepairAction::ReplaceSwitchHardware
+            ]
+        );
+        assert_eq!(
+            e.next_action(
+                CableMedium::Aoc,
+                &[RepairAction::Reseat, RepairAction::Reseat]
+            ),
+            RepairAction::ReplaceCable
+        );
+    }
+
+    #[test]
+    fn full_ladder_for_separable() {
+        let e = engine();
+        assert_eq!(e.ladder_for(MPO), RepairAction::LADDER.to_vec());
+        assert_eq!(
+            e.ladder_for(CableMedium::FiberLc),
+            RepairAction::LADDER.to_vec()
+        );
+    }
+
+    #[test]
+    fn climbs_to_switch_replacement_and_stays() {
+        let e = engine();
+        let mut history = Vec::new();
+        let mut seen = Vec::new();
+        // Simulate repeated failures: take next action, record it twice
+        // (original + repeat), watch the ladder climb.
+        for _ in 0..12 {
+            let a = e.next_action(MPO, &history);
+            seen.push(a);
+            history.push(a);
+        }
+        assert_eq!(seen.first(), Some(&RepairAction::Reseat));
+        assert!(seen.contains(&RepairAction::CleanEndFace));
+        assert!(seen.contains(&RepairAction::ReplaceTransceiver));
+        assert!(seen.contains(&RepairAction::ReplaceCable));
+        // Final rung repeats.
+        assert_eq!(seen.last(), Some(&RepairAction::ReplaceSwitchHardware));
+        assert_eq!(
+            seen.iter()
+                .filter(|&&a| a == RepairAction::ReplaceSwitchHardware)
+                .count(),
+            4,
+            "top rung repeats indefinitely"
+        );
+    }
+
+    #[test]
+    fn ladder_is_ordered_like_paper() {
+        let e = engine();
+        let ladder = e.ladder_for(MPO);
+        let positions: Vec<usize> = RepairAction::LADDER
+            .iter()
+            .map(|a| ladder.iter().position(|x| x == a).unwrap())
+            .collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+
+    #[test]
+    fn zero_repeats_config_climbs_fast() {
+        let e = EscalationEngine::new(EscalationConfig {
+            memory_window: SimDuration::from_days(14),
+            repeats_per_rung: 0,
+        });
+        assert_eq!(
+            e.next_action(MPO, &[RepairAction::Reseat]),
+            RepairAction::CleanEndFace
+        );
+    }
+
+    #[test]
+    fn expired_history_restarts_ladder() {
+        // The window filtering happens at the ticket board; the engine
+        // just sees an empty list again.
+        let e = engine();
+        assert_eq!(e.next_action(MPO, &[]), RepairAction::Reseat);
+    }
+}

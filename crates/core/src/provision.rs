@@ -1,0 +1,218 @@
+//! Right-provisioning advisor — §1/§2's economic argument, quantified.
+//!
+//! "There is real potential for right-provisioning redundant hardware
+//! components, thus reducing the need for excessive overprovisioned
+//! online redundancy due to greater control over the window of
+//! vulnerability during hardware failures."
+//!
+//! Model: a link group needs `k` working members out of `n` provisioned
+//! (k-of-n redundancy, e.g. an 8-uplink leaf that needs 6 for peak
+//! load). Each member fails at rate λ = 1/MTBF and is repaired at rate
+//! μ = 1/MTTR, independently. Steady-state per-member availability is
+//! a = μ/(λ+μ), and group availability is the binomial tail
+//! P(X ≥ k), X ~ Bin(n, a).
+//!
+//! The advisor inverts this: given MTBF, MTTR, k, and a target
+//! availability, find the minimum n. Because a human MTTR is days and a
+//! robot MTTR is minutes (experiments E1/E7), the required n drops —
+//! that delta *is* the right-provisioning saving, priced via
+//! [`CostModel::redundant_link_annual`](dcmaint_metrics::CostModel).
+
+use dcmaint_des::SimDuration;
+
+/// Steady-state availability of one member: μ/(λ+μ) with λ=1/MTBF,
+/// μ=1/MTTR.
+pub fn member_availability(mtbf: SimDuration, mttr: SimDuration) -> f64 {
+    let f = mtbf.as_secs_f64();
+    let r = mttr.as_secs_f64();
+    if f <= 0.0 {
+        return 0.0;
+    }
+    if r <= 0.0 {
+        return 1.0;
+    }
+    f / (f + r)
+}
+
+/// P(X ≥ k) for X ~ Bin(n, p): probability at least `k` of `n` members
+/// are up. Computed with a numerically-stable incremental binomial.
+pub fn k_of_n_availability(n: usize, k: usize, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    // Sum P(X = i) for i in k..=n via log-space terms.
+    let mut total = 0.0;
+    for i in k..=n {
+        total += binom_pmf(n, i, p);
+    }
+    total.min(1.0)
+}
+
+fn binom_pmf(n: usize, i: usize, p: f64) -> f64 {
+    if p == 0.0 {
+        return if i == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if i == n { 1.0 } else { 0.0 };
+    }
+    // ln C(n,i) + i ln p + (n-i) ln(1-p)
+    let ln_c = ln_factorial(n) - ln_factorial(i) - ln_factorial(n - i);
+    (ln_c + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp()
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// Advisor output for one (MTTR, target) point.
+#[derive(Debug, Clone)]
+pub struct ProvisioningAdvice {
+    /// Needed working members.
+    pub k: usize,
+    /// Minimum members to provision.
+    pub n: usize,
+    /// Spare members beyond k.
+    pub spares: usize,
+    /// Achieved group availability at n.
+    pub achieved: f64,
+    /// Per-member availability used.
+    pub member_availability: f64,
+}
+
+/// Minimum `n ≥ k` such that k-of-n availability meets `target`, given
+/// member MTBF/MTTR. Caps the search at `k + 64` (beyond that the
+/// request is infeasible for any sane fleet and the cap is returned).
+pub fn advise(
+    mtbf: SimDuration,
+    mttr: SimDuration,
+    k: usize,
+    target: f64,
+) -> ProvisioningAdvice {
+    let a = member_availability(mtbf, mttr);
+    let mut n = k.max(1);
+    let cap = k + 64;
+    loop {
+        let achieved = k_of_n_availability(n, k, a);
+        if achieved >= target || n >= cap {
+            return ProvisioningAdvice {
+                k,
+                n,
+                spares: n - k,
+                achieved,
+                member_availability: a,
+            };
+        }
+        n += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_availability_formula() {
+        // MTBF 99 h, MTTR 1 h → 0.99.
+        let a = member_availability(SimDuration::from_hours(99), SimDuration::from_hours(1));
+        assert!((a - 0.99).abs() < 1e-9);
+        assert_eq!(
+            member_availability(SimDuration::ZERO, SimDuration::from_hours(1)),
+            0.0
+        );
+        assert_eq!(
+            member_availability(SimDuration::from_hours(1), SimDuration::ZERO),
+            1.0
+        );
+    }
+
+    #[test]
+    fn k_of_n_edge_cases() {
+        assert_eq!(k_of_n_availability(4, 0, 0.5), 1.0);
+        assert_eq!(k_of_n_availability(2, 3, 0.99), 0.0);
+        // 1-of-1: just p.
+        assert!((k_of_n_availability(1, 1, 0.97) - 0.97).abs() < 1e-12);
+        // 1-of-2: 1-(1-p)^2.
+        let p = 0.9;
+        assert!((k_of_n_availability(2, 1, p) - (1.0 - 0.01)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomial_sums_to_one() {
+        let n = 12;
+        let p = 0.37;
+        let total: f64 = (0..=n).map(|i| binom_pmf(n, i, p)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_members_more_availability() {
+        let p = 0.95;
+        let mut prev = 0.0;
+        for n in 4..10 {
+            let a = k_of_n_availability(n, 4, p);
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn faster_repair_needs_fewer_spares() {
+        // The paper's core economic claim. MTBF 60 d; human MTTR 2 d vs
+        // robot MTTR 10 min; need 8 working, target 99.99%.
+        let mtbf = SimDuration::from_days(60);
+        let human = advise(mtbf, SimDuration::from_days(2), 8, 0.9999);
+        let robot = advise(mtbf, SimDuration::from_mins(10), 8, 0.9999);
+        assert!(
+            human.spares > robot.spares,
+            "human {} vs robot {} spares",
+            human.spares,
+            robot.spares
+        );
+        assert!(
+            robot.spares <= 1,
+            "minutes-scale MTTR needs at most one spare, got {}",
+            robot.spares
+        );
+        assert!(human.achieved >= 0.9999);
+        assert!(robot.achieved >= 0.9999);
+    }
+
+    #[test]
+    fn tighter_target_needs_more_spares() {
+        let mtbf = SimDuration::from_days(60);
+        let mttr = SimDuration::from_days(2);
+        let four9 = advise(mtbf, mttr, 8, 0.9999);
+        let six9 = advise(mtbf, mttr, 8, 0.999999);
+        assert!(six9.spares >= four9.spares);
+    }
+
+    #[test]
+    fn advice_is_minimal() {
+        // n-1 must miss the target (when spares > 0).
+        let mtbf = SimDuration::from_days(30);
+        let mttr = SimDuration::from_days(3);
+        let adv = advise(mtbf, mttr, 4, 0.9999);
+        assert!(adv.spares > 0);
+        let below = k_of_n_availability(adv.n - 1, adv.k, adv.member_availability);
+        assert!(below < 0.9999);
+        assert!(adv.achieved >= 0.9999);
+    }
+
+    #[test]
+    fn infeasible_request_caps() {
+        // Member availability 1% (repair 99x slower than failure): even
+        // 72 members cannot give 8-of-n six nines — the search caps.
+        let adv = advise(
+            SimDuration::from_hours(1),
+            SimDuration::from_hours(99),
+            8,
+            0.999999,
+        );
+        assert_eq!(adv.n, 8 + 64);
+        assert!(adv.achieved < 0.999999);
+    }
+}

@@ -1,0 +1,359 @@
+//! Hardware component model: transceivers, cables, switches, NICs.
+//!
+//! §3.1 of the paper enumerates the physical inventory of a DC network —
+//! "server NICs, switches, routers, line cards, (optical) transceivers, and
+//! cables (fiber or copper)" — and §3.2/§4 stress two properties that the
+//! maintenance system must confront:
+//!
+//! 1. **Link-length-driven media choice**: short links use DAC copper,
+//!    medium links factory-integrated AEC/AOC, long links *separable*
+//!    transceiver + fiber. Only separable links can be cleaned; integrated
+//!    ones are replace-only. The escalation policy branches on this.
+//! 2. **Diversity**: "literally tens of different designs for optical
+//!    transceivers" — backend shape, pull-tab, stiffness all vary even
+//!    though docking is standardized. Diversity is what makes robotic
+//!    vision/grasping hard, so each component carries a *design family*
+//!    that feeds the robot vision-model error rate.
+
+use dcmaint_des::Stream;
+
+/// Transceiver form factors seen in large DC fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormFactor {
+    /// SFP28 — 25G single lane.
+    Sfp28,
+    /// QSFP28 — 100G, 4 lanes.
+    Qsfp28,
+    /// QSFP56 — 200G.
+    Qsfp56,
+    /// QSFP-DD — 400G, 8 lanes.
+    QsfpDd,
+    /// OSFP — 400/800G.
+    Osfp,
+}
+
+impl FormFactor {
+    /// Nominal lane count (fiber cores used by an MPO on this transceiver).
+    pub fn lanes(self) -> u8 {
+        match self {
+            FormFactor::Sfp28 => 1,
+            FormFactor::Qsfp28 | FormFactor::Qsfp56 => 4,
+            FormFactor::QsfpDd | FormFactor::Osfp => 8,
+        }
+    }
+
+    /// Nominal speed in Gbps.
+    pub fn gbps(self) -> u32 {
+        match self {
+            FormFactor::Sfp28 => 25,
+            FormFactor::Qsfp28 => 100,
+            FormFactor::Qsfp56 => 200,
+            FormFactor::QsfpDd => 400,
+            FormFactor::Osfp => 800,
+        }
+    }
+
+    /// The form factor whose nominal speed matches `gbps` (used when
+    /// reconstructing links from a recorded topology); falls back to the
+    /// nearest lower tier.
+    pub fn from_gbps(gbps: u32) -> FormFactor {
+        match gbps {
+            0..=25 => FormFactor::Sfp28,
+            26..=100 => FormFactor::Qsfp28,
+            101..=200 => FormFactor::Qsfp56,
+            201..=400 => FormFactor::QsfpDd,
+            _ => FormFactor::Osfp,
+        }
+    }
+
+    /// All form factors, for sweeps.
+    pub const ALL: [FormFactor; 5] = [
+        FormFactor::Sfp28,
+        FormFactor::Qsfp28,
+        FormFactor::Qsfp56,
+        FormFactor::QsfpDd,
+        FormFactor::Osfp,
+    ];
+}
+
+/// A transceiver *design family*: the backend variation (§4 "hardware
+/// redesign and standardization") that robots must visually recognize and
+/// grip. Two transceivers of the same form factor but different families
+/// need different grasp parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignFamily {
+    /// Vendor index (anonymized).
+    pub vendor: u8,
+    /// Pull-tab style: 0 = rigid tab, 1 = flexible loop, 2 = bail latch.
+    pub tab_style: u8,
+    /// Whether the MPO end-face is polished at the APC 8° angle (§3.3.3:
+    /// "some MPO cables have an 8-degree angle on the end-faces").
+    pub angled_endface: bool,
+}
+
+impl DesignFamily {
+    /// Sample a family from a fleet with `vendor_count` vendors.
+    pub fn sample(rng: &mut Stream, vendor_count: u8) -> Self {
+        DesignFamily {
+            vendor: rng.below(u64::from(vendor_count.max(1))) as u8,
+            tab_style: rng.below(3) as u8,
+            angled_endface: rng.chance(0.5),
+        }
+    }
+}
+
+/// A pluggable transceiver instance.
+#[derive(Debug, Clone)]
+pub struct Transceiver {
+    /// Mechanical/electrical form factor.
+    pub form: FormFactor,
+    /// Visual/grasp design family.
+    pub family: DesignFamily,
+    /// Cumulative reseat count (gold-finger wear is finite).
+    pub reseat_count: u32,
+}
+
+impl Transceiver {
+    /// New transceiver of the given form and family.
+    pub fn new(form: FormFactor, family: DesignFamily) -> Self {
+        Transceiver {
+            form,
+            family,
+            reseat_count: 0,
+        }
+    }
+}
+
+/// Cable medium, per §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CableMedium {
+    /// Direct-attach copper: short, integrated, no optics.
+    Dac,
+    /// Active electrical cable: integrated transceivers, copper.
+    Aec,
+    /// Active optical cable: integrated transceivers, fiber.
+    Aoc,
+    /// Separable duplex fiber with LC connectors (1 core pair).
+    FiberLc,
+    /// Separable multi-fiber MPO trunk with `cores` fibers.
+    FiberMpo {
+        /// Number of fiber cores in the trunk (8 for 400G, 16 for 800G…).
+        cores: u8,
+    },
+}
+
+impl CableMedium {
+    /// Whether the cable detaches from its transceiver — precondition for
+    /// the cleaning repair (§3.2: integrated cables can only be replaced).
+    pub fn is_separable(self) -> bool {
+        matches!(self, CableMedium::FiberLc | CableMedium::FiberMpo { .. })
+    }
+
+    /// Whether the medium is optical (contamination applies) as opposed to
+    /// copper (oxidation applies).
+    pub fn is_optical(self) -> bool {
+        !matches!(self, CableMedium::Dac | CableMedium::Aec)
+    }
+
+    /// Number of independently inspectable fiber cores (0 for copper).
+    pub fn cores(self) -> u8 {
+        match self {
+            CableMedium::Dac | CableMedium::Aec => 0,
+            CableMedium::FiberLc | CableMedium::Aoc => 2,
+            CableMedium::FiberMpo { cores } => cores,
+        }
+    }
+
+    /// Choose the medium a fleet would deploy for a link of `length_m`
+    /// meters at the given form factor, following §3.1: "short links of a
+    /// few meters will use … DAC", medium lengths integrated AEC/AOC,
+    /// "longer links will use separate optical transceivers and fiber
+    /// cables".
+    pub fn for_length(length_m: f64, form: FormFactor) -> CableMedium {
+        if length_m <= 3.0 {
+            CableMedium::Dac
+        } else if length_m <= 10.0 {
+            // AOC dominates AEC at higher speeds.
+            if form.gbps() >= 200 {
+                CableMedium::Aoc
+            } else {
+                CableMedium::Aec
+            }
+        } else if form.lanes() <= 2 {
+            CableMedium::FiberLc
+        } else {
+            // One core per lane in each direction; 400G → 8-core MPO (§3.2:
+            // "an 800 Gbps link will use 8 fibers within a single MPO").
+            CableMedium::FiberMpo {
+                cores: form.lanes().max(2),
+            }
+        }
+    }
+}
+
+/// A cable instance.
+#[derive(Debug, Clone)]
+pub struct Cable {
+    /// Physical medium.
+    pub medium: CableMedium,
+    /// Routed length in meters (tray path, not Euclidean).
+    pub length_m: f64,
+}
+
+/// Switch hardware description.
+#[derive(Debug, Clone)]
+pub struct SwitchSpec {
+    /// Port count (radix).
+    pub radix: u16,
+    /// Ports per line card (replacement granularity for the final
+    /// escalation stage).
+    pub ports_per_linecard: u16,
+    /// Rack units occupied.
+    pub height_u: u8,
+}
+
+impl SwitchSpec {
+    /// A typical 32-port 1U ToR/leaf switch.
+    pub fn tor32() -> Self {
+        SwitchSpec {
+            radix: 32,
+            ports_per_linecard: 32,
+            height_u: 1,
+        }
+    }
+
+    /// A typical 64-port 2U spine switch.
+    pub fn spine64() -> Self {
+        SwitchSpec {
+            radix: 64,
+            ports_per_linecard: 16,
+            height_u: 2,
+        }
+    }
+}
+
+/// Fleet-level component diversity: the number of distinct design families
+/// deployed. §4 argues diversity is the main automation obstacle; the robot
+/// vision model consumes this index.
+#[derive(Debug, Clone, Copy)]
+pub struct DiversityProfile {
+    /// Number of distinct transceiver vendors in the fleet.
+    pub vendor_count: u8,
+}
+
+impl DiversityProfile {
+    /// A homogeneous fleet (the §4 "hardware redesign" endpoint).
+    pub fn standardized() -> Self {
+        DiversityProfile { vendor_count: 1 }
+    }
+
+    /// A typical large-cloud fleet: "literally tens of different designs".
+    pub fn cloud_typical() -> Self {
+        DiversityProfile { vendor_count: 12 }
+    }
+
+    /// Normalized diversity in `[0, 1]`: 0 = one design, 1 = 24+ designs.
+    /// The robot misrecognition probability scales with this.
+    pub fn index(&self) -> f64 {
+        f64::from(self.vendor_count.saturating_sub(1)).min(23.0) / 23.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    #[test]
+    fn form_factor_lanes_and_speed() {
+        assert_eq!(FormFactor::QsfpDd.lanes(), 8);
+        assert_eq!(FormFactor::Qsfp28.gbps(), 100);
+        assert_eq!(FormFactor::Osfp.gbps(), 800);
+    }
+
+    #[test]
+    fn gbps_roundtrip() {
+        for f in FormFactor::ALL {
+            assert_eq!(FormFactor::from_gbps(f.gbps()), f);
+        }
+    }
+
+    #[test]
+    fn media_selection_by_length() {
+        assert_eq!(
+            CableMedium::for_length(2.0, FormFactor::Qsfp28),
+            CableMedium::Dac
+        );
+        assert_eq!(
+            CableMedium::for_length(7.0, FormFactor::Qsfp28),
+            CableMedium::Aec
+        );
+        assert_eq!(
+            CableMedium::for_length(7.0, FormFactor::QsfpDd),
+            CableMedium::Aoc
+        );
+        assert_eq!(
+            CableMedium::for_length(30.0, FormFactor::Sfp28),
+            CableMedium::FiberLc
+        );
+        assert_eq!(
+            CableMedium::for_length(30.0, FormFactor::QsfpDd),
+            CableMedium::FiberMpo { cores: 8 }
+        );
+    }
+
+    #[test]
+    fn separability_gates_cleaning() {
+        assert!(!CableMedium::Dac.is_separable());
+        assert!(!CableMedium::Aoc.is_separable());
+        assert!(CableMedium::FiberLc.is_separable());
+        assert!(CableMedium::FiberMpo { cores: 8 }.is_separable());
+    }
+
+    #[test]
+    fn optical_vs_copper() {
+        assert!(!CableMedium::Dac.is_optical());
+        assert!(!CableMedium::Aec.is_optical());
+        assert!(CableMedium::Aoc.is_optical());
+        assert!(CableMedium::FiberMpo { cores: 16 }.is_optical());
+    }
+
+    #[test]
+    fn core_counts() {
+        assert_eq!(CableMedium::Dac.cores(), 0);
+        assert_eq!(CableMedium::FiberLc.cores(), 2);
+        assert_eq!(CableMedium::FiberMpo { cores: 12 }.cores(), 12);
+    }
+
+    #[test]
+    fn diversity_index_bounds() {
+        assert_eq!(DiversityProfile::standardized().index(), 0.0);
+        let typical = DiversityProfile::cloud_typical().index();
+        assert!(typical > 0.3 && typical < 0.7, "index {typical}");
+        let max = DiversityProfile { vendor_count: 40 }.index();
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn family_sampling_within_vendor_count() {
+        let mut rng = SimRng::root(3).stream("fam", 0);
+        for _ in 0..200 {
+            let f = DesignFamily::sample(&mut rng, 5);
+            assert!(f.vendor < 5);
+            assert!(f.tab_style < 3);
+        }
+    }
+
+    #[test]
+    fn family_sampling_zero_vendors_clamps() {
+        let mut rng = SimRng::root(4).stream("fam", 0);
+        let f = DesignFamily::sample(&mut rng, 0);
+        assert_eq!(f.vendor, 0);
+    }
+
+    #[test]
+    fn switch_specs() {
+        assert_eq!(SwitchSpec::tor32().radix, 32);
+        assert_eq!(SwitchSpec::spine64().ports_per_linecard, 16);
+    }
+}

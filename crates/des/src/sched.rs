@@ -1,0 +1,347 @@
+//! The event scheduler: a deterministic priority queue of timestamped events.
+//!
+//! Design follows the event-driven/poll style of embedded network stacks:
+//! the kernel owns *when* things happen, the model owns *what* happens. The
+//! model defines one event type `E` (typically an enum covering the whole
+//! simulation) and drives a plain loop:
+//!
+//! ```
+//! use dcmaint_des::{Scheduler, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32), Stop }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.schedule_in(SimDuration::from_secs(1), Ev::Ping(1));
+//! sched.schedule_in(SimDuration::from_secs(3), Ev::Stop);
+//! sched.schedule_in(SimDuration::from_secs(2), Ev::Ping(2));
+//!
+//! let mut seen = Vec::new();
+//! while let Some(ev) = sched.pop() {
+//!     match ev.payload {
+//!         Ev::Ping(n) => seen.push(n),
+//!         Ev::Stop => break,
+//!     }
+//! }
+//! assert_eq!(seen, vec![1, 2]);
+//! assert_eq!(sched.now(), SimTime::ZERO + SimDuration::from_secs(3));
+//! ```
+//!
+//! Determinism: events at the same instant are delivered in the order they
+//! were scheduled (FIFO within a timestamp), enforced by a monotonically
+//! increasing sequence number used as a tiebreaker. Two runs that schedule
+//! identical (time, payload) sequences observe identical delivery orders.
+//!
+//! Cancellation: [`Scheduler::schedule`] returns an [`EventKey`]; a canceled
+//! key is skipped at pop time (lazy deletion), which keeps cancel O(1).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle identifying a scheduled event, usable to cancel it before firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey(u64);
+
+/// An event delivered by [`Scheduler::pop`]: the payload plus the instant it
+/// fired (which is also the scheduler's new `now`).
+#[derive(Debug)]
+pub struct Fired<E> {
+    /// Instant at which the event fired.
+    pub at: SimTime,
+    /// Model-defined payload.
+    pub payload: E,
+    /// The key the event was scheduled under.
+    pub key: EventKey,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first, and invert
+        // the sequence comparison so equal timestamps pop FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic discrete-event scheduler. See the crate docs for the
+/// event-loop pattern.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    canceled: HashSet<u64>,
+    delivered: u64,
+    horizon: SimTime,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// New scheduler at time zero with no horizon.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            canceled: HashSet::new(),
+            delivered: 0,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// New scheduler that silently drops events scheduled after `horizon`
+    /// and stops popping once `now` would pass it. This bounds experiment
+    /// runtime without every model having to check the clock.
+    pub fn with_horizon(horizon: SimTime) -> Self {
+        let mut s = Self::new();
+        s.horizon = horizon;
+        s
+    }
+
+    /// The current simulation instant: the timestamp of the last event
+    /// popped (time zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configured horizon ([`SimTime::MAX`] when unbounded).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending (including lazily-canceled ones).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute instant `at`. Scheduling in the past
+    /// clamps to `now` (delivered next, after already-queued events at
+    /// `now`). Events beyond the horizon are dropped and a dead key is
+    /// returned.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventKey {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        if at > self.horizon {
+            // Dead key: never inserted, can never fire; cancel is a no-op.
+            return EventKey(seq);
+        }
+        self.heap.push(Entry { at, seq, payload });
+        EventKey(seq)
+    }
+
+    /// Schedule `payload` after `delay` relative to `now`.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventKey {
+        self.schedule(self.now + delay, payload)
+    }
+
+    /// Schedule `payload` to fire immediately (at `now`, after events
+    /// already queued for `now`).
+    pub fn schedule_now(&mut self, payload: E) -> EventKey {
+        self.schedule(self.now, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event had
+    /// not yet fired or been canceled. O(1); removal happens lazily on pop.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if key.0 >= self.seq {
+            return false;
+        }
+        self.canceled.insert(key.0)
+    }
+
+    /// Timestamp of the next event that will fire, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_canceled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp. Returns `None`
+    /// when the queue is empty or the next event lies beyond the horizon (in
+    /// which case `now` advances to the horizon).
+    pub fn pop(&mut self) -> Option<Fired<E>> {
+        self.skip_canceled();
+        match self.heap.peek() {
+            None => {
+                // Queue drained: the simulation has run to the end of time.
+                if self.horizon != SimTime::MAX {
+                    self.now = self.horizon;
+                }
+                None
+            }
+            Some(e) if e.at > self.horizon => {
+                self.now = self.horizon;
+                None
+            }
+            Some(_) => {
+                let e = self.heap.pop().expect("peeked entry present");
+                self.now = e.at;
+                self.delivered += 1;
+                Some(Fired {
+                    at: e.at,
+                    payload: e.payload,
+                    key: EventKey(e.seq),
+                })
+            }
+        }
+    }
+
+    fn skip_canceled(&mut self) {
+        while let Some(e) = self.heap.peek() {
+            if self.canceled.remove(&e.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_micros(30), "c");
+        s.schedule(SimTime::from_micros(10), "a");
+        s.schedule(SimTime::from_micros(20), "b");
+        let got: Vec<_> = std::iter::from_fn(|| s.pop().map(|f| f.payload)).collect();
+        assert_eq!(got, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_timestamp() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(SimTime::from_micros(5), i);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| s.pop().map(|f| f.payload)).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_micros(42), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_micros(42));
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_micros(100), "first");
+        s.pop();
+        s.schedule(SimTime::from_micros(5), "late");
+        let f = s.pop().unwrap();
+        assert_eq!(f.at, SimTime::from_micros(100));
+        assert_eq!(f.payload, "late");
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut s = Scheduler::new();
+        let k1 = s.schedule(SimTime::from_micros(10), 1);
+        let _k2 = s.schedule(SimTime::from_micros(20), 2);
+        assert!(s.cancel(k1));
+        assert!(!s.cancel(k1), "double-cancel reports false");
+        let got: Vec<_> = std::iter::from_fn(|| s.pop().map(|f| f.payload)).collect();
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s = Scheduler::new();
+        let k = s.schedule(SimTime::from_micros(1), ());
+        s.pop();
+        // Firing consumed the entry; cancel of a fired key inserts into the
+        // tombstone set but can never suppress anything. It still returns
+        // true (the key was valid); a later identical key is impossible
+        // because seq is unique.
+        assert!(s.cancel(k));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn horizon_stops_delivery_and_advances_clock() {
+        let mut s = Scheduler::with_horizon(SimTime::from_micros(100));
+        s.schedule(SimTime::from_micros(50), "in");
+        s.schedule(SimTime::from_micros(150), "out");
+        assert_eq!(s.pop().unwrap().payload, "in");
+        assert!(s.pop().is_none());
+        assert_eq!(s.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn beyond_horizon_schedule_is_dropped() {
+        let mut s = Scheduler::with_horizon(SimTime::from_micros(10));
+        s.schedule(SimTime::from_micros(11), ());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn peek_time_skips_canceled() {
+        let mut s = Scheduler::new();
+        let k = s.schedule(SimTime::from_micros(5), 1);
+        s.schedule(SimTime::from_micros(9), 2);
+        s.cancel(k);
+        assert_eq!(s.peek_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn delivered_counter() {
+        let mut s = Scheduler::new();
+        for i in 0..5u32 {
+            s.schedule(SimTime::from_micros(u64::from(i)), i);
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.delivered(), 5);
+    }
+
+    #[test]
+    fn schedule_now_fires_after_existing_now_events() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::ZERO, "a");
+        s.schedule_now("b");
+        let got: Vec<_> = std::iter::from_fn(|| s.pop().map(|f| f.payload)).collect();
+        assert_eq!(got, vec!["a", "b"]);
+    }
+}

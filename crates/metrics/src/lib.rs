@@ -1,0 +1,33 @@
+//! # dcmaint-metrics — measurement plumbing for the self-maintenance suite
+//!
+//! Everything the experiments measure flows through this crate:
+//!
+//! * [`StreamingStats`], [`SampleSet`], [`DurationSamples`],
+//!   [`DurationHistogram`] — streaming and exact-quantile statistics,
+//! * [`AvailabilityTracker`], [`FleetAvailability`] — up/down ledgers
+//!   yielding availability, MTBF, MTTR and downtime-window distributions,
+//! * [`CostModel`], [`CostLedger`] — labor / robot / hardware / downtime /
+//!   redundancy cost accounting,
+//! * [`Table`] — uniform text-table and CSV rendering for every experiment.
+//!
+//! The crate is deliberately free of simulation logic: it consumes times
+//! and durations from `dcmaint-des` and produces numbers. That keeps the
+//! measurement definitions auditable in one place — when EXPERIMENTS.md
+//! says "availability", it means [`FleetAvailability::summarize`], for
+//! every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod avail;
+mod cost;
+mod stats;
+mod table;
+
+pub use avail::{
+    availability_from_nines, nines, AvailabilitySummary, AvailabilityTracker, FleetAvailability,
+    FleetSummary,
+};
+pub use cost::{CostLedger, CostModel, HardwareKind};
+pub use stats::{DurationHistogram, DurationSamples, SampleSet, StreamingStats};
+pub use table::{fnum, fpct, fratio, Align, Table};

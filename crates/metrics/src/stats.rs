@@ -1,0 +1,503 @@
+//! Streaming and collected statistics.
+//!
+//! Two flavours:
+//!
+//! * [`StreamingStats`] — O(1) memory Welford accumulator for mean/variance
+//!   plus min/max. Used where sample counts are unbounded (per-link loss
+//!   samples over a 90-day run).
+//! * [`SampleSet`] — keeps every observation for exact quantiles. Used for
+//!   the distributions experiments report (service-window CDFs, p99 FCT).
+//!   Memory is bounded by reservoir sampling above a configurable cap.
+
+use dcmaint_des::{SimDuration, Stream};
+
+/// O(1)-memory running mean/variance/min/max (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored (they would
+    /// poison the accumulator irrecoverably).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of (finite) observations recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0.0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact-quantile sample collector with an optional reservoir cap.
+///
+/// Below the cap every observation is kept and quantiles are exact. Above
+/// it, reservoir sampling (Algorithm R) keeps an unbiased subsample, so
+/// quantiles remain statistically faithful with bounded memory.
+#[derive(Debug, Clone)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    seen: u64,
+    cap: usize,
+    sorted: bool,
+}
+
+impl Default for SampleSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleSet {
+    /// Unbounded collector (use when total sample count is known to be
+    /// modest, e.g. one entry per ticket).
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            seen: 0,
+            cap: usize::MAX,
+            sorted: true,
+        }
+    }
+
+    /// Collector that reservoir-samples above `cap` entries.
+    pub fn with_cap(cap: usize) -> Self {
+        SampleSet {
+            samples: Vec::with_capacity(cap.min(4096)),
+            seen: 0,
+            cap: cap.max(1),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation. Requires a RNG stream only when the cap may
+    /// be exceeded; use [`SampleSet::record`] otherwise.
+    pub fn record_with(&mut self, x: f64, rng: &mut Stream) {
+        if !x.is_finite() {
+            return;
+        }
+        self.seen += 1;
+        self.sorted = false;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            // Algorithm R: replace a random slot with probability cap/seen.
+            let j = rng.below(self.seen);
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Record one observation into an uncapped collector. Panics in debug
+    /// builds if the collector was constructed with a cap (the reservoir
+    /// path needs randomness).
+    pub fn record(&mut self, x: f64) {
+        debug_assert_eq!(self.cap, usize::MAX, "capped SampleSet needs record_with");
+        if !x.is_finite() {
+            return;
+        }
+        self.seen += 1;
+        self.sorted = false;
+        self.samples.push(x);
+    }
+
+    /// Total observations offered (including ones displaced from a full
+    /// reservoir).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Observations currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Exact quantile `q ∈ [0, 1]` by linear interpolation between order
+    /// statistics; 0.0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Median (q = 0.5).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean of held samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Iterate over held samples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
+/// A [`SampleSet`] of durations, stored as seconds. Thin wrapper that keeps
+/// call sites readable (`windows.record(d)` instead of unit conversions).
+#[derive(Debug, Clone, Default)]
+pub struct DurationSamples(SampleSet);
+
+impl DurationSamples {
+    /// Empty, uncapped collector.
+    pub fn new() -> Self {
+        DurationSamples(SampleSet::new())
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.0.record(d.as_secs_f64());
+    }
+
+    /// Quantile as a duration.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.0.quantile(q))
+    }
+
+    /// Median as a duration.
+    pub fn median(&mut self) -> SimDuration {
+        self.quantile(0.5)
+    }
+
+    /// Mean as a duration.
+    pub fn mean(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.0.mean())
+    }
+
+    /// Number of recorded durations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Access the underlying seconds-valued sample set.
+    pub fn as_samples(&mut self) -> &mut SampleSet {
+        &mut self.0
+    }
+}
+
+/// Fixed-bucket histogram over log-spaced duration bins, for rendering
+/// repair-time distributions as text.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    /// Bucket upper bounds, strictly increasing.
+    bounds: Vec<SimDuration>,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl DurationHistogram {
+    /// Histogram with the given strictly-increasing bucket upper bounds.
+    pub fn new(bounds: Vec<SimDuration>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let n = bounds.len();
+        DurationHistogram {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+        }
+    }
+
+    /// Standard buckets for repair-time analysis: 1 s … 30 d, log-spaced.
+    pub fn repair_scale() -> Self {
+        let secs = [
+            1u64, 10, 30, 60, 300, 900, 1_800, 3_600, 4 * 3_600, 12 * 3_600, 24 * 3_600,
+            3 * 24 * 3_600, 7 * 24 * 3_600, 30 * 24 * 3_600,
+        ];
+        Self::new(secs.iter().map(|&s| SimDuration::from_secs(s)).collect())
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        match self.bounds.iter().position(|&b| d <= b) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// (upper-bound, count) pairs plus the overflow count.
+    pub fn buckets(&self) -> (Vec<(SimDuration, u64)>, u64) {
+        (
+            self.bounds
+                .iter()
+                .copied()
+                .zip(self.counts.iter().copied())
+                .collect(),
+            self.overflow,
+        )
+    }
+
+    /// Fraction of observations at or below `d` (empirical CDF at bucket
+    /// granularity, using bucket upper bounds).
+    pub fn cdf_at(&self, d: SimDuration) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if b <= d {
+                acc += self.counts[i];
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    #[test]
+    fn streaming_mean_and_variance() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_ignores_non_finite() {
+        let mut s = StreamingStats::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(3.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn streaming_empty_defaults() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = StreamingStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_exact_small() {
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(0.25), 2.0);
+        assert!((s.quantile(0.9) - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let mut s = SampleSet::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn reservoir_caps_memory_and_stays_unbiased() {
+        let mut rng = SimRng::root(5).stream("res", 0);
+        let mut s = SampleSet::with_cap(500);
+        for i in 0..50_000 {
+            s.record_with(i as f64, &mut rng);
+        }
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.seen(), 50_000);
+        // Mean of uniform 0..50_000 should be ~25_000.
+        assert!((s.mean() - 25_000.0).abs() < 2_500.0, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn duration_samples_roundtrip() {
+        let mut d = DurationSamples::new();
+        d.record(SimDuration::from_secs(10));
+        d.record(SimDuration::from_secs(20));
+        d.record(SimDuration::from_secs(30));
+        assert_eq!(d.median(), SimDuration::from_secs(20));
+        assert_eq!(d.mean(), SimDuration::from_secs(20));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = DurationHistogram::repair_scale();
+        h.record(SimDuration::from_millis(500)); // <= 1 s bucket
+        h.record(SimDuration::from_secs(45)); // <= 60 s bucket
+        h.record(SimDuration::from_days(365)); // overflow
+        assert_eq!(h.total(), 3);
+        let (buckets, overflow) = h.buckets();
+        assert_eq!(overflow, 1);
+        assert_eq!(buckets[0].1, 1);
+        let min_bucket = buckets
+            .iter()
+            .find(|(b, _)| *b == SimDuration::from_secs(60))
+            .unwrap();
+        assert_eq!(min_bucket.1, 1);
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = DurationHistogram::repair_scale();
+        for s in [5u64, 20, 50, 200, 4000] {
+            h.record(SimDuration::from_secs(s));
+        }
+        assert!((h.cdf_at(SimDuration::from_secs(60)) - 0.6).abs() < 1e-12);
+        assert!((h.cdf_at(SimDuration::from_days(30)) - 1.0).abs() < 1e-12);
+    }
+}

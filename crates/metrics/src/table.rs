@@ -1,0 +1,230 @@
+//! Plain-text table and CSV rendering for experiment output.
+//!
+//! Every experiment runner produces rows that print identically in two
+//! forms: an aligned text table for the terminal (the "paper table"
+//! rendering) and CSV for downstream plotting. Keeping the renderer here —
+//! not in each experiment — guarantees uniform formatting across E1–E11.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple in-memory table: header row plus data rows of strings.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given title and `(header, alignment)` columns.
+    pub fn new(title: &str, columns: &[(&str, Align)]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns
+                .iter()
+                .map(|(h, a)| (h.to_string(), *a))
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells; longer rows
+    /// are truncated to the column count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.columns.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let ncols = self.columns.len();
+        let mut widths: Vec<usize> = self.columns.iter().map(|(h, _)| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, (h, a)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            pad(&mut line, h, widths[i], *a);
+        }
+        let _ = writeln!(out, "{line}");
+        let rule_len = line.len();
+        let _ = writeln!(out, "{}", "-".repeat(rule_len));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                pad(&mut line, cell, widths[i], self.columns[i].1);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas,
+    /// quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let headers: Vec<&str> = self.columns.iter().map(|(h, _)| h.as_str()).collect();
+        let _ = writeln!(out, "{}", csv_line(&headers));
+        for row in &self.rows {
+            let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+            let _ = writeln!(out, "{}", csv_line(&cells));
+        }
+        out
+    }
+}
+
+fn pad(out: &mut String, s: &str, width: usize, align: Align) {
+    let padding = width.saturating_sub(s.len());
+    match align {
+        Align::Left => {
+            out.push_str(s);
+            out.push_str(&" ".repeat(padding));
+        }
+        Align::Right => {
+            out.push_str(&" ".repeat(padding));
+            out.push_str(s);
+        }
+    }
+}
+
+fn csv_line(cells: &[&str]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                (*c).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Format a float with `digits` decimals, trimming to a compact string.
+pub fn fnum(x: f64, digits: usize) -> String {
+    if !x.is_finite() {
+        return if x.is_nan() { "nan".into() } else { "inf".into() };
+    }
+    format!("{x:.digits$}")
+}
+
+/// Format a ratio as `N.Nx` (e.g. speedups in comparison tables).
+pub fn fratio(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Format a probability/fraction as a percentage string.
+pub fn fpct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(
+            "demo",
+            &[("name", Align::Left), ("value", Align::Right)],
+        );
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "12345"]);
+        let out = t.render();
+        assert!(out.contains("== demo =="));
+        let lines: Vec<&str> = out.lines().collect();
+        // header, rule, 2 rows (+ title)
+        assert_eq!(lines.len(), 5);
+        // Right alignment: the short number should be right-padded to align
+        // with 12345.
+        assert!(lines[3].ends_with("    1"));
+        assert!(lines[4].ends_with("12345"));
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new("p", &[("a", Align::Left), ("b", Align::Left)]);
+        t.row(vec!["only"]);
+        t.row(vec!["x", "y", "z-dropped"]);
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().nth(1).unwrap(), "only,");
+        assert_eq!(csv.lines().nth(2).unwrap(), "x,y");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("q", &[("a", Align::Left)]);
+        t.row(vec!["has,comma"]);
+        t.row(vec!["has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(f64::NAN, 2), "nan");
+        assert_eq!(fnum(f64::INFINITY, 2), "inf");
+        assert_eq!(fratio(2.0), "2.00x");
+        assert_eq!(fratio(42.0), "42.0x");
+        assert_eq!(fratio(420.0), "420x");
+        assert_eq!(fpct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("empty", &[("col", Align::Left)]);
+        assert!(t.is_empty());
+        let out = t.render();
+        assert_eq!(out.lines().count(), 3);
+    }
+}

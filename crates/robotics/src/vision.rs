@@ -1,0 +1,167 @@
+//! Robot perception model.
+//!
+//! §3.3.3: "The largest challenges have been the diversity of components
+//! and high cabling density, which complicate perception and planning."
+//! §5: occlusion and cable tracking "continue to pose substantial
+//! difficulties for state-of-the-art robotic systems".
+//!
+//! The model compresses all of that into a per-attempt recognition
+//! probability driven by two fleet-level quantities the substrate already
+//! knows: the component *diversity index* (how many transceiver design
+//! families exist — §4's standardization argument) and the local *cable
+//! density* (how cluttered the faceplate is). Attempts cost time; after
+//! `max_attempts` failures the robot requests human support (§3.3.2).
+
+use dcmaint_des::{SimDuration, Stream};
+
+/// Perception configuration.
+#[derive(Debug, Clone)]
+pub struct VisionModel {
+    /// Per-attempt success probability on a standardized, uncluttered
+    /// fleet.
+    pub base_success: f64,
+    /// Success penalty at full diversity (diversity index 1.0).
+    pub diversity_penalty: f64,
+    /// Success penalty at full clutter (density 1.0).
+    pub density_penalty: f64,
+    /// Time per recognition/localization attempt.
+    pub attempt_time: SimDuration,
+    /// Attempts before escalating to a human.
+    pub max_attempts: u32,
+}
+
+impl Default for VisionModel {
+    fn default() -> Self {
+        VisionModel {
+            base_success: 0.985,
+            diversity_penalty: 0.22,
+            density_penalty: 0.12,
+            attempt_time: SimDuration::from_secs(8),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Result of a perception task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VisionOutcome {
+    /// Whether the target was recognized/localized.
+    pub success: bool,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Total time spent.
+    pub elapsed_micros: u64,
+}
+
+impl VisionOutcome {
+    /// Elapsed time as a duration.
+    pub fn elapsed(&self) -> SimDuration {
+        SimDuration::from_micros(self.elapsed_micros)
+    }
+}
+
+impl VisionModel {
+    /// Per-attempt success probability for the given fleet diversity and
+    /// local density (both in `[0, 1]`).
+    pub fn attempt_success(&self, diversity: f64, density: f64) -> f64 {
+        (self.base_success
+            - self.diversity_penalty * diversity.clamp(0.0, 1.0)
+            - self.density_penalty * density.clamp(0.0, 1.0))
+        .clamp(0.05, 1.0)
+    }
+
+    /// Run the recognize-retry loop.
+    pub fn recognize(&self, diversity: f64, density: f64, rng: &mut Stream) -> VisionOutcome {
+        let p = self.attempt_success(diversity, density);
+        let mut attempts = 0;
+        let mut elapsed = SimDuration::ZERO;
+        while attempts < self.max_attempts {
+            attempts += 1;
+            elapsed += self.attempt_time;
+            if rng.chance(p) {
+                return VisionOutcome {
+                    success: true,
+                    attempts,
+                    elapsed_micros: elapsed.as_micros(),
+                };
+            }
+        }
+        VisionOutcome {
+            success: false,
+            attempts,
+            elapsed_micros: elapsed.as_micros(),
+        }
+    }
+
+    /// Probability the whole retry loop fails (human escalation).
+    pub fn escalation_prob(&self, diversity: f64, density: f64) -> f64 {
+        (1.0 - self.attempt_success(diversity, density)).powi(self.max_attempts as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    #[test]
+    fn standardized_fleet_recognized_reliably() {
+        let v = VisionModel::default();
+        let mut rng = SimRng::root(1).stream("vision", 0);
+        let n = 5000;
+        let fails = (0..n)
+            .filter(|_| !v.recognize(0.0, 0.1, &mut rng).success)
+            .count();
+        assert!(
+            (fails as f64 / f64::from(n)) < 0.001,
+            "{fails} escalations on a standardized fleet"
+        );
+    }
+
+    #[test]
+    fn diversity_hurts_recognition() {
+        let v = VisionModel::default();
+        assert!(v.attempt_success(1.0, 0.5) < v.attempt_success(0.0, 0.5));
+        assert!(v.escalation_prob(1.0, 1.0) > 50.0 * v.escalation_prob(0.0, 0.0));
+    }
+
+    #[test]
+    fn attempts_bounded_and_timed() {
+        let v = VisionModel::default();
+        let mut rng = SimRng::root(2).stream("vision", 0);
+        for _ in 0..500 {
+            let o = v.recognize(1.0, 1.0, &mut rng);
+            assert!(o.attempts >= 1 && o.attempts <= v.max_attempts);
+            assert_eq!(
+                o.elapsed(),
+                v.attempt_time * u64::from(o.attempts),
+                "time = attempts x attempt_time"
+            );
+        }
+    }
+
+    #[test]
+    fn success_prob_floor() {
+        let v = VisionModel {
+            base_success: 0.1,
+            diversity_penalty: 1.0,
+            density_penalty: 1.0,
+            ..VisionModel::default()
+        };
+        assert!(v.attempt_success(1.0, 1.0) >= 0.05);
+    }
+
+    #[test]
+    fn escalation_frequency_matches_analytic() {
+        let v = VisionModel::default();
+        let mut rng = SimRng::root(3).stream("vision", 0);
+        let (div, den) = (0.8, 0.9);
+        let n = 20_000;
+        let fails = (0..n)
+            .filter(|_| !v.recognize(div, den, &mut rng).success)
+            .count();
+        let got = fails as f64 / f64::from(n);
+        let want = v.escalation_prob(div, den);
+        assert!((got - want).abs() < 0.01, "got {got}, want {want}");
+    }
+}

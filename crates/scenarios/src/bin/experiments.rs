@@ -1,0 +1,100 @@
+//! Regenerate every table and figure series in EXPERIMENTS.md at full
+//! size, printing text tables (default) or CSV (`--csv`).
+//!
+//! Usage:
+//!   experiments            # all experiments, text tables
+//!   experiments --csv      # all experiments, CSV blocks
+//!   experiments e4 e8      # a subset
+//!
+//! A fixed seed (2024) makes the output byte-reproducible.
+
+use dcmaint_metrics::Table;
+use dcmaint_scenarios::experiments as exp;
+
+const SEED: u64 = 2024;
+
+fn emit(t: &Table, csv: bool) {
+    if csv {
+        println!("# {}", t.title());
+        println!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let picks: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| picks.is_empty() || picks.contains(&name);
+
+    if want("e1") {
+        let rows = exp::e1::run_experiment(&exp::e1::E1Params::full(SEED));
+        emit(&exp::e1::table(&rows), csv);
+    }
+    if want("e2") {
+        let out = exp::e2::run_experiment(&exp::e2::E2Params::full(SEED));
+        emit(&exp::e2::table(&out), csv);
+    }
+    if want("e3") {
+        let rows = exp::e3::run_experiment(&exp::e3::E3Params::full(SEED));
+        emit(&exp::e3::table(&rows), csv);
+    }
+    if want("e4") {
+        let rows = exp::e4::run_experiment(&exp::e4::E4Params::full(SEED));
+        emit(&exp::e4::table(&rows), csv);
+    }
+    if want("e5") {
+        let rows = exp::e5::run_experiment(&exp::e5::E5Params::standard());
+        emit(&exp::e5::table(&rows), csv);
+    }
+    if want("e6") {
+        let rows = exp::e6::run_experiment(&exp::e6::E6Params::full(SEED));
+        emit(&exp::e6::table(&rows), csv);
+    }
+    if want("e7") {
+        let series = exp::e7::run_experiment(&exp::e7::E7Params::full(SEED));
+        emit(&exp::e7::table(&series), csv);
+    }
+    if want("e8") {
+        let rows = exp::e8::run_experiment(&exp::e8::E8Params::full(SEED));
+        emit(&exp::e8::table(&rows), csv);
+    }
+    if want("e9") {
+        let rows = exp::e9::run_experiment(&exp::e9::E9Params::full(SEED));
+        emit(&exp::e9::table(&rows), csv);
+    }
+    if want("e10") {
+        let rows = exp::e10::run_experiment(&exp::e10::E10Params::full(SEED));
+        emit(&exp::e10::table(&rows), csv);
+    }
+    if want("e11") {
+        let out = exp::e11::run_experiment(&exp::e11::E11Params::full(SEED));
+        emit(&exp::e11::table(&out), csv);
+        emit(&exp::e11::weights_table(&exp::e11::E11Params::full(SEED)), csv);
+    }
+    if want("e12") {
+        let rows = exp::e12::run_experiment(&exp::e12::E12Params::full(SEED));
+        emit(&exp::e12::table(&rows), csv);
+    }
+    if want("e13") {
+        let rows = exp::e13::run_experiment(&exp::e13::E13Params::full(SEED));
+        emit(&exp::e13::table(&rows), csv);
+    }
+    if want("a1") || want("a2") || want("a3") {
+        let p = exp::ablations::AblationParams::full(SEED);
+        if want("a1") {
+            emit(&exp::ablations::a1_table(&exp::ablations::run_a1(&p)), csv);
+        }
+        if want("a2") {
+            emit(&exp::ablations::a2_table(&exp::ablations::run_a2(&p)), csv);
+        }
+        if want("a3") {
+            emit(&exp::ablations::a3_table(&exp::ablations::run_a3(&p)), csv);
+        }
+    }
+}

@@ -1,0 +1,1684 @@
+//! The scenario engine: one deterministic event loop wiring faults,
+//! telemetry, tickets, technicians, robots, and the maintenance
+//! controller together.
+//!
+//! This is the execution half of the paper's architecture; the decision
+//! half lives in `maintctl`. The loop (see [`run`]) processes one event
+//! enum over the DES kernel:
+//!
+//! ```text
+//! fault arrival ─▶ link state ─▶ telemetry poll ─▶ alert ─▶ ticket
+//!        ▲                                                    │
+//!        │                                              controller plan
+//!   wear/latents                                     (action, executor,
+//!        │                                             drain decision)
+//!        └── repair done ◀─ hands-on work ◀─ dispatch ◀──────┘
+//!             (efficacy roll,                (tech queue: hours-days,
+//!              disturbance,                   robot queue: seconds)
+//!              verify soak)
+//! ```
+//!
+//! Design rules enforced here:
+//!
+//! * **The hidden root cause never reaches policy code.** The engine
+//!   carries it only to roll repair-efficacy outcomes and to label
+//!   prediction training data.
+//! * **Every physical touch rolls the disturbance dice** with the
+//!   executing actor's profile — that is where cascading failures come
+//!   from, for humans and robots alike.
+//! * **Stale events are epoch-checked.** Self-heals, flap transitions,
+//!   and burst-ends carry the link epoch at scheduling time and are
+//!   ignored if the link has since changed state.
+
+use std::collections::HashMap;
+
+use dcmaint_dcnet::routing::pair_connectivity;
+use dcmaint_dcnet::{
+    AdminState, LinkHealth, LinkId, NetState, NodeId, RackLoc, Topology,
+};
+use dcmaint_des::{Fired, Scheduler, SimDuration, SimRng, SimTime, Stream};
+use dcmaint_faults::{
+    diurnal_utilization, disturb, ActorProfile, DisturbanceEffect, FaultInjector, FlapProcess,
+    RepairAction, RootCause,
+};
+use dcmaint_metrics::{CostLedger, FleetAvailability, HardwareKind};
+use dcmaint_robotics::{run_clean, run_replace, run_reseat, ReplaceKind, RobotFleet};
+use dcmaint_tickets::{
+    AttemptRecord, Priority, TechnicianPool, TicketBoard, TicketId, TicketState, TicketTrigger,
+};
+use dcmaint_telemetry::{extract, AlertKind, TelemetryPlane, FEATURE_DIM};
+use maintctl::{
+    DrainDecision, Executor, MaintenanceController, PreContactAnnouncement, SafetyConfig,
+    ZoneActor, ZoneLedger,
+};
+use dcmaint_faults::EndFace;
+
+use crate::config::ScenarioConfig;
+use crate::report::{ActionStats, RunReport};
+
+/// Engine events.
+enum Ev {
+    /// Next organic incident arrival.
+    Fault,
+    /// A gray incident clears on its own.
+    SelfHeal { link: LinkId, epoch: u64 },
+    /// Gilbert–Elliott phase change on a flapping link.
+    Flap { link: LinkId, epoch: u64 },
+    /// A disturbance-seeded latent fault manifests.
+    LatentManifest { link: LinkId, cause: RootCause },
+    /// A disturbance transient burst ends.
+    BurstEnd { link: LinkId, epoch: u64 },
+    /// Telemetry polling tick.
+    Poll,
+    /// Plan and dispatch repair for a ticket.
+    Dispatch { ticket: TicketId },
+    /// Hands-on work begins.
+    RepairStart { ticket: TicketId },
+    /// Hands-on work ends.
+    RepairDone { ticket: TicketId },
+    /// Post-repair verification soak ends.
+    VerifyDone { ticket: TicketId },
+    /// Proactive planner tick.
+    ProactiveScan,
+    /// One paced campaign work item (a single link of a campaign).
+    ProactiveOpen { link: LinkId },
+    /// Predictive scorer tick.
+    PredictiveScan,
+    /// A scripted (failure-injection) incident fires.
+    Scripted { link: LinkId, cause: RootCause },
+    /// Resolve a prediction label after the horizon.
+    PredictiveLabel {
+        link: LinkId,
+        features: [f64; FEATURE_DIM],
+        flagged: bool,
+        incidents_before: u64,
+    },
+}
+
+/// Active incident on a link (hidden from policy).
+struct ActiveIncident {
+    cause: RootCause,
+    health: LinkHealth,
+    loss: f64,
+}
+
+/// Per-link runtime state beyond `NetState`.
+struct LinkRt {
+    incident: Option<ActiveIncident>,
+    flap: Option<FlapProcess>,
+    burst_loss: Option<f64>,
+    /// Bumped whenever incident/burst state is replaced; stale events
+    /// carrying an older epoch are ignored.
+    epoch: u64,
+    last_maintenance: SimTime,
+    /// A fault developing but not yet manifested: either a gradual
+    /// organic failure in its precursor phase or a disturbance-seeded
+    /// cascade. While pending, the link carries a sub-clinical
+    /// [`PRECURSOR_LOSS`] — below the alerting threshold, but visible in
+    /// errored-seconds telemetry. This is the physical signal the §4
+    /// predictive loop learns.
+    pending_latent: Option<RootCause>,
+    /// Whether the pending fault was seeded by physical disturbance
+    /// (reporting: cascades are counted separately).
+    pending_is_cascade: bool,
+}
+
+/// Sub-clinical loss carried by a link with a developing fault: above
+/// the errored-second threshold (1e-4) so history accumulates, below the
+/// gray-alert threshold (5e-4) so no reactive ticket fires.
+const PRECURSOR_LOSS: f64 = 4e-4;
+
+/// Fraction of gradual-cause organic incidents that develop through a
+/// precursor phase instead of appearing instantly.
+const GRADUAL_FRACTION: f64 = 0.7;
+
+/// A dispatched repair in flight.
+struct ActiveRepair {
+    link: LinkId,
+    action: RepairAction,
+    executor: Executor,
+    announcement: Option<PreContactAnnouncement>,
+    robot_unit: Option<usize>,
+    hands_on: SimDuration,
+    /// Robot op already determined to escalate to a human.
+    robot_escalated: bool,
+    /// Pre-sampled: will the human botch this action?
+    human_botched: bool,
+}
+
+/// The engine. Construct via [`run`]; exposed for the integration tests
+/// that poke intermediate state.
+pub struct Engine {
+    cfg: ScenarioConfig,
+    topo: Topology,
+    state: NetState,
+    telemetry: TelemetryPlane,
+    board: TicketBoard,
+    controller: MaintenanceController,
+    techs: TechnicianPool,
+    fleet: RobotFleet,
+    injector: FaultInjector,
+    links_rt: Vec<LinkRt>,
+    active: HashMap<TicketId, ActiveRepair>,
+    forced_action: HashMap<TicketId, RepairAction>,
+    avail: FleetAvailability,
+    costs: CostLedger,
+    zones: ZoneLedger,
+    service_pairs: Vec<(NodeId, NodeId)>,
+    // RNG streams.
+    hazard: Stream,
+    causes: Stream,
+    outcomes: Stream,
+    ops: Stream,
+    // Report counters.
+    incidents: u64,
+    cascade_incidents: u64,
+    cascade_bursts: u64,
+    cascade_bursts_live: u64,
+    burst_impact_loss_s: f64,
+    tickets_by_trigger: HashMap<&'static str, u64>,
+    actions: HashMap<RepairAction, ActionStats>,
+    tech_time: SimDuration,
+    human_escalations: u64,
+    campaigns: u64,
+    campaign_links: u64,
+    prediction: maintctl::PredictionStats,
+    drains_deferred: u64,
+    drain_capacity_impact: f64,
+    campaign_drain_impact: f64,
+    trough_deferred: std::collections::HashSet<TicketId>,
+    attempts_per_fix: Vec<u32>,
+    fixed_attempts_by_ticket: HashMap<TicketId, bool>,
+    defer_counts: HashMap<TicketId, u32>,
+}
+
+/// Run a scenario to completion and produce its report.
+pub fn run(cfg: ScenarioConfig) -> RunReport {
+    let rng = SimRng::root(cfg.seed);
+    let topo = cfg.topology.build(cfg.diversity, &rng);
+    let state = NetState::new(&topo);
+    let telemetry = TelemetryPlane::with_config(
+        &topo,
+        cfg.poll_period,
+        dcmaint_telemetry::Detector::default(),
+    );
+    let controller = MaintenanceController::new(cfg.controller_config());
+    let techs = TechnicianPool::new(cfg.techs.clone(), &rng.child("techs"));
+    let fleet = match cfg.hall_pool {
+        Some(count) => RobotFleet::hall_pool(count, cfg.fleet.clone(), &rng.child("fleet")),
+        None => RobotFleet::per_row(
+            &topo.layout,
+            cfg.robots_per_row,
+            cfg.fleet.clone(),
+            &rng.child("fleet"),
+        ),
+    };
+    let injector = FaultInjector::new(cfg.faults.clone(), &rng.child("faults"));
+    let n_links = topo.link_count();
+    let links_rt = (0..n_links)
+        .map(|_| LinkRt {
+            incident: None,
+            flap: None,
+            burst_loss: None,
+            epoch: 0,
+            last_maintenance: SimTime::ZERO,
+            pending_latent: None,
+            pending_is_cascade: false,
+        })
+        .collect();
+    // Sample service pairs deterministically.
+    let mut pair_stream = rng.stream("service-pairs", 0);
+    let servers = topo.servers();
+    let mut service_pairs = Vec::new();
+    if servers.len() >= 2 {
+        for _ in 0..cfg.service_pair_samples {
+            let a = servers[pair_stream.index(servers.len())];
+            let b = servers[pair_stream.index(servers.len())];
+            if a != b {
+                service_pairs.push((a, b));
+            }
+        }
+    }
+
+    let eng = Engine {
+        hazard: rng.stream("hazard", 0),
+        causes: rng.stream("engine-causes", 0),
+        outcomes: rng.stream("engine-outcomes", 0),
+        ops: rng.stream("engine-ops", 0),
+        avail: FleetAvailability::new(SimTime::ZERO),
+        costs: CostLedger::new(),
+        zones: ZoneLedger::new(SafetyConfig::default()),
+        cfg,
+        topo,
+        state,
+        telemetry,
+        board: TicketBoard::new(),
+        controller,
+        techs,
+        fleet,
+        injector,
+        links_rt,
+        active: HashMap::new(),
+        forced_action: HashMap::new(),
+        service_pairs,
+        incidents: 0,
+        cascade_incidents: 0,
+        cascade_bursts: 0,
+        cascade_bursts_live: 0,
+        burst_impact_loss_s: 0.0,
+        tickets_by_trigger: HashMap::new(),
+        actions: HashMap::new(),
+        tech_time: SimDuration::ZERO,
+        human_escalations: 0,
+        campaigns: 0,
+        campaign_links: 0,
+        prediction: maintctl::PredictionStats::default(),
+        drains_deferred: 0,
+        drain_capacity_impact: 0.0,
+        campaign_drain_impact: 0.0,
+        trough_deferred: std::collections::HashSet::new(),
+        attempts_per_fix: Vec::new(),
+        fixed_attempts_by_ticket: HashMap::new(),
+        defer_counts: HashMap::new(),
+    };
+    eng.execute()
+}
+
+impl Engine {
+    fn execute(mut self) -> RunReport {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let mut sched: Scheduler<Ev> = Scheduler::with_horizon(horizon);
+        // Seed the recurring processes.
+        if self.cfg.organic_faults {
+            let stress = self.cfg.environment.stress_factor(SimTime::ZERO, 0);
+            let first = self
+                .injector
+                .arrival_delay(self.topo.link_count() as f64, stress);
+            sched.schedule_in(first, Ev::Fault);
+        }
+        for inc in self.cfg.scripted.clone() {
+            if inc.link_index < self.topo.link_count() {
+                sched.schedule(
+                    inc.at,
+                    Ev::Scripted {
+                        link: LinkId::from_index(inc.link_index),
+                        cause: inc.cause,
+                    },
+                );
+            }
+        }
+        sched.schedule_in(self.cfg.poll_period, Ev::Poll);
+        sched.schedule_in(SimDuration::from_hours(1), Ev::ProactiveScan);
+        if let Some(pc) = self.controller.predictive_config() {
+            sched.schedule_in(pc.scan_period, Ev::PredictiveScan);
+        }
+        while let Some(Fired { at, payload, .. }) = sched.pop() {
+            self.handle(payload, at, &mut sched);
+        }
+        self.finish(horizon)
+    }
+
+    // ----- event dispatch -------------------------------------------
+
+    fn handle(&mut self, ev: Ev, now: SimTime, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Fault => self.on_fault(now, sched),
+            Ev::SelfHeal { link, epoch } => self.on_self_heal(link, epoch, now),
+            Ev::Flap { link, epoch } => self.on_flap(link, epoch, now, sched),
+            Ev::LatentManifest { link, cause } => self.on_latent(link, cause, now, sched),
+            Ev::BurstEnd { link, epoch } => self.on_burst_end(link, epoch, now),
+            Ev::Poll => self.on_poll(now, sched),
+            Ev::Dispatch { ticket } => self.on_dispatch(ticket, now, sched),
+            Ev::RepairStart { ticket } => self.on_repair_start(ticket, now, sched),
+            Ev::RepairDone { ticket } => self.on_repair_done(ticket, now, sched),
+            Ev::VerifyDone { ticket } => self.on_verify_done(ticket, now, sched),
+            Ev::ProactiveScan => self.on_proactive_scan(now, sched),
+            Ev::ProactiveOpen { link } => self.on_proactive_open(link, now, sched),
+            Ev::PredictiveScan => self.on_predictive_scan(now, sched),
+            Ev::Scripted { link, cause } => {
+                if self.links_rt[link.index()].incident.is_none() {
+                    self.start_incident(link, cause, false, now, sched);
+                }
+            }
+            Ev::PredictiveLabel {
+                link,
+                features,
+                flagged,
+                incidents_before,
+            } => self.on_predictive_label(link, features, flagged, incidents_before),
+        }
+    }
+
+    // ----- link state plumbing --------------------------------------
+
+    /// Recompute a link's externally-visible health/loss from its
+    /// runtime components and propagate transitions to telemetry and
+    /// availability.
+    fn recompute_link(&mut self, l: LinkId, now: SimTime) {
+        let rt = &self.links_rt[l.index()];
+        let burst = rt.burst_loss.unwrap_or(0.0);
+        let precursor = if rt.pending_latent.is_some() {
+            PRECURSOR_LOSS
+        } else {
+            0.0
+        };
+        let (health, loss) = match &rt.incident {
+            Some(inc) => match inc.health {
+                LinkHealth::Down => (LinkHealth::Down, 1.0),
+                LinkHealth::Flapping => {
+                    let fl = rt.flap.as_ref().map_or(inc.loss, FlapProcess::loss);
+                    (LinkHealth::Flapping, fl.max(burst))
+                }
+                LinkHealth::Degraded | LinkHealth::Up => {
+                    (LinkHealth::Degraded, inc.loss.max(burst))
+                }
+            },
+            None if burst > 0.0 => (LinkHealth::Degraded, burst.max(precursor)),
+            // A pure precursor is sub-clinical: the link reads healthy,
+            // only its loss counters carry the hint.
+            None => (LinkHealth::Up, precursor),
+        };
+        let prev = self.state.link(l).health;
+        self.state.set_health(l, health, loss);
+        if prev != health {
+            self.telemetry.on_transition(l, now);
+        }
+        self.update_availability(l, now);
+    }
+
+    /// A link is "available" when it physically carries traffic and is
+    /// administratively in service (drained/maintenance time counts as
+    /// unavailability — intentional drains are still capacity loss).
+    fn update_availability(&mut self, l: LinkId, now: SimTime) {
+        let s = self.state.link(l);
+        let available = s.health.carries_traffic()
+            && matches!(s.admin, AdminState::InService | AdminState::Draining);
+        if available {
+            self.avail.mark_up(l.key(), now);
+        } else {
+            self.avail.mark_down(l.key(), now);
+        }
+    }
+
+    fn bump_epoch(&mut self, l: LinkId) -> u64 {
+        self.links_rt[l.index()].epoch += 1;
+        self.links_rt[l.index()].epoch
+    }
+
+    // ----- fault machinery ------------------------------------------
+
+    fn wear_weight(&self, l: LinkId, now: SimTime) -> f64 {
+        let days = now
+            .since(self.links_rt[l.index()].last_maintenance)
+            .as_days_f64();
+        (1.0 + self.cfg.wear_growth * days / 90.0).min(4.0)
+    }
+
+    fn on_fault(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        // Schedule the next arrival first (Poisson chain). The rate is
+        // the *sum* of per-link wear-adjusted hazards, so maintenance
+        // that resets wear genuinely lowers the fabric incident rate —
+        // the physical mechanism behind the §4 proactive claim.
+        let stress = self
+            .cfg
+            .environment
+            .stress_factor(now, self.topo.layout.rows / 2);
+        let weights: Vec<f64> = self
+            .topo
+            .link_ids()
+            .map(|l| self.wear_weight(l, now))
+            .collect();
+        let hazard_sum: f64 = weights.iter().sum();
+        let delay = self.injector.arrival_delay(hazard_sum, stress);
+        sched.schedule_in(delay, Ev::Fault);
+        let l = LinkId::from_index(self.hazard.weighted_index(&weights));
+        if self.links_rt[l.index()].incident.is_some() {
+            return; // already broken; new fault is masked
+        }
+        let medium = self.topo.link(l).cable.medium;
+        let cause = RootCause::sample(medium, &mut self.causes);
+        // Contamination, oxidation, and wear build up gradually: most
+        // such incidents pass through a precursor phase first (§1: the
+        // impact of dirt "is often dependent on temperature, humidity,
+        // vibration etc. Hence, the flapping can occur intermittently
+        // over time"). Electrical/firmware faults stay instantaneous.
+        let gradual = matches!(
+            cause,
+            RootCause::DirtyEndFace | RootCause::OxidizedContact | RootCause::TransceiverWear
+        ) && self.causes.chance(GRADUAL_FRACTION)
+            && self.links_rt[l.index()].pending_latent.is_none();
+        if gradual {
+            self.links_rt[l.index()].pending_latent = Some(cause);
+            self.links_rt[l.index()].pending_is_cascade = false;
+            self.recompute_link(l, now);
+            let delay = self.injector.latent_manifest_delay();
+            sched.schedule_in(delay, Ev::LatentManifest { link: l, cause });
+        } else {
+            self.start_incident(l, cause, false, now, sched);
+        }
+    }
+
+    fn start_incident(
+        &mut self,
+        l: LinkId,
+        cause: RootCause,
+        from_cascade: bool,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let incident = self.injector.seeded_incident(l, cause);
+        self.incidents += 1;
+        if from_cascade {
+            self.cascade_incidents += 1;
+        }
+        let epoch = self.bump_epoch(l);
+        let rt = &mut self.links_rt[l.index()];
+        rt.incident = Some(ActiveIncident {
+            cause,
+            health: incident.health,
+            loss: incident.loss,
+        });
+        rt.flap = None;
+        if incident.health == LinkHealth::Flapping {
+            let severity = (incident.loss / 0.05).clamp(0.1, 1.0);
+            let flap = FlapProcess::with_severity(severity);
+            let hold = flap.hold_time(&mut self.ops);
+            rt.flap = Some(flap);
+            sched.schedule_in(hold, Ev::Flap { link: l, epoch });
+        }
+        if let Some(heal) = incident.self_heal_after {
+            sched.schedule_in(heal, Ev::SelfHeal { link: l, epoch });
+        }
+        self.recompute_link(l, now);
+    }
+
+    fn clear_incident(&mut self, l: LinkId, now: SimTime) {
+        let rt = &mut self.links_rt[l.index()];
+        rt.incident = None;
+        rt.flap = None;
+        rt.epoch += 1;
+        self.recompute_link(l, now);
+    }
+
+    fn on_self_heal(&mut self, l: LinkId, epoch: u64, now: SimTime) {
+        if self.links_rt[l.index()].epoch != epoch {
+            return;
+        }
+        self.clear_incident(l, now);
+    }
+
+    fn on_flap(&mut self, l: LinkId, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.links_rt[l.index()].epoch != epoch {
+            return;
+        }
+        let Some(flap) = self.links_rt[l.index()].flap.as_mut() else {
+            return;
+        };
+        let hold = flap.transition(&mut self.ops);
+        sched.schedule_in(hold, Ev::Flap { link: l, epoch });
+        self.telemetry.on_transition(l, now);
+        self.recompute_link(l, now);
+    }
+
+    fn on_latent(&mut self, l: LinkId, cause: RootCause, now: SimTime, sched: &mut Scheduler<Ev>) {
+        // Only manifest if the latent is still pending (maintenance may
+        // have cleared it) and the link isn't already broken.
+        if self.links_rt[l.index()].pending_latent != Some(cause) {
+            return;
+        }
+        self.links_rt[l.index()].pending_latent = None;
+        let from_cascade = self.links_rt[l.index()].pending_is_cascade;
+        if self.links_rt[l.index()].incident.is_some() {
+            self.recompute_link(l, now);
+            return;
+        }
+        self.start_incident(l, cause, from_cascade, now, sched);
+    }
+
+    fn on_burst_end(&mut self, l: LinkId, epoch: u64, now: SimTime) {
+        if self.links_rt[l.index()].epoch != epoch {
+            return;
+        }
+        self.links_rt[l.index()].burst_loss = None;
+        self.recompute_link(l, now);
+    }
+
+    // ----- telemetry → tickets --------------------------------------
+
+    fn on_poll(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        sched.schedule_in(self.cfg.poll_period, Ev::Poll);
+        let alerts = self.telemetry.sample(&self.topo, &self.state, now);
+        for alert in alerts {
+            let trigger = match alert.kind {
+                AlertKind::LinkDown => TicketTrigger::LinkDown,
+                AlertKind::Flapping => TicketTrigger::Flapping,
+                AlertKind::GrayLoss => TicketTrigger::GrayLoss,
+            };
+            let priority = Priority::from_trigger(trigger, alert.severity);
+            self.open_ticket(alert.link, trigger, priority, now, sched);
+        }
+    }
+
+    fn open_ticket(
+        &mut self,
+        link: LinkId,
+        trigger: TicketTrigger,
+        priority: Priority,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) -> Option<TicketId> {
+        let (id, fresh) = self.board.open(link, trigger, priority, now);
+        if !fresh {
+            return None;
+        }
+        *self.tickets_by_trigger.entry(trigger.label()).or_insert(0) += 1;
+        // Only reactive tickets count as incidents for telemetry
+        // features and prediction labels — a predictive ticket must not
+        // label its own target as "failed".
+        if trigger.is_reactive() {
+            self.telemetry.on_incident(link);
+        }
+        sched.schedule_now(Ev::Dispatch { ticket: id });
+        Some(id)
+    }
+
+    // ----- dispatch & repair ----------------------------------------
+
+    fn rack_of(&self, l: LinkId) -> RackLoc {
+        let port = self.topo.link(l).a;
+        self.topo.layout.rack_loc(self.topo.port(port).loc.rack)
+    }
+
+    fn density_of(&self, l: LinkId) -> f64 {
+        (self.topo.disturb_neighbors(l).len() as f64 / 12.0).min(1.0)
+    }
+
+    /// Rough expected hands-on duration used for the pre-contact
+    /// announcement (the real duration is sampled at booking).
+    fn estimate_duration(&self, action: RepairAction, executor: Executor) -> SimDuration {
+        let human = match action {
+            RepairAction::Reseat => SimDuration::from_mins(10),
+            RepairAction::CleanEndFace => SimDuration::from_mins(45),
+            RepairAction::ReplaceTransceiver => SimDuration::from_mins(30),
+            RepairAction::ReplaceCable => SimDuration::from_hours(4),
+            RepairAction::ReplaceSwitchHardware => SimDuration::from_hours(8),
+        };
+        match executor {
+            Executor::Human | Executor::HumanWithDevice => human,
+            Executor::SupervisedRobot | Executor::AutonomousRobot => SimDuration::from_mins(5),
+        }
+    }
+
+    fn on_dispatch(&mut self, ticket: TicketId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.board.get(ticket).is_closed() || self.active.contains_key(&ticket) {
+            return;
+        }
+        // §2 timing optimization: routine (P2) work waits for the
+        // diurnal trough when the policy asks for it, so its drains cost
+        // the least capacity. Deferred at most once per ticket, and
+        // never for hard-down links.
+        let cfg_ctl = self.controller.config();
+        if cfg_ctl.trough_scheduling
+            && self.board.get(ticket).priority == Priority::P2
+            && diurnal_utilization(now) >= cfg_ctl.trough_gate
+            && self.state.link(self.board.get(ticket).link).health.carries_traffic()
+            && !self.trough_deferred.contains(&ticket)
+        {
+            let gate = cfg_ctl.trough_gate;
+            // Find the next hour (within 24) where utilization dips
+            // below the gate.
+            let mut delay = SimDuration::from_hours(1);
+            for h in 1..=24u64 {
+                let t = now + SimDuration::from_hours(h);
+                if diurnal_utilization(t) < gate {
+                    delay = SimDuration::from_hours(h);
+                    break;
+                }
+            }
+            self.trough_deferred.insert(ticket);
+            sched.schedule_in(delay, Ev::Dispatch { ticket });
+            return;
+        }
+        let link = self.board.get(ticket).link;
+        let medium = self.topo.link(link).cable.medium;
+        let recent = self
+            .board
+            .recent_actions(link, now, self.controller.memory_window());
+        let action = match self.forced_action.get(&ticket) {
+            Some(&a) if a.applicable(medium) => a,
+            _ => self.controller.decide_action(medium, &recent),
+        };
+        let executor = self.controller.executor_for(action);
+        let expected = self.estimate_duration(action, executor);
+        if !self.cfg.coordinate_drains {
+            // A1 ablation: no cross-layer coordination — book the actor
+            // and touch the hardware hot, with no drain and no
+            // pre-contact announcement.
+            self.dispatch_without_drain(ticket, link, action, executor, now, sched);
+            return;
+        }
+        let plan = maintctl::drain::plan(
+            &self.controller.config().drain,
+            &self.topo,
+            &self.state,
+            link,
+            matches!(executor, Executor::Human | Executor::HumanWithDevice),
+            expected,
+            &self.service_pairs,
+        );
+        let announcement = match plan {
+            DrainDecision::Defer { .. } => {
+                // Defer and retry — but not forever. Real fleets
+                // eventually take an emergency maintenance window: after
+                // a bounded number of deferrals the repair proceeds with
+                // a target-only drain and the impact is accepted.
+                let defers = self.defer_counts.entry(ticket).or_insert(0);
+                if *defers < 8 {
+                    *defers += 1;
+                    self.drains_deferred += 1;
+                    sched.schedule_in(self.cfg.defer_retry, Ev::Dispatch { ticket });
+                    return;
+                }
+                PreContactAnnouncement {
+                    target: link,
+                    contacts: dcmaint_faults::contact_set(&self.topo, link),
+                    expected_duration: expected,
+                    drained: vec![link],
+                }
+            }
+            DrainDecision::Proceed(ann) => ann,
+        };
+        self.book_executor(ticket, link, action, executor, Some(announcement), now, sched);
+    }
+
+    /// A1-ablation path: no drain planning, no announcement.
+    fn dispatch_without_drain(
+        &mut self,
+        ticket: TicketId,
+        link: LinkId,
+        action: RepairAction,
+        executor: Executor,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        self.book_executor(ticket, link, action, executor, None, now, sched);
+    }
+
+    /// Book the chosen executor and schedule the hands-on window.
+    #[allow(clippy::too_many_arguments)]
+    fn book_executor(
+        &mut self,
+        ticket: TicketId,
+        link: LinkId,
+        action: RepairAction,
+        executor: Executor,
+        announcement: Option<PreContactAnnouncement>,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let medium = self.topo.link(link).cable.medium;
+        let rack = self.rack_of(link);
+        let walk_m = self
+            .topo
+            .layout
+            .walk_distance_m(RackLoc { row: 0, col: 0 }, rack);
+        let priority = self.board.get(ticket).priority;
+        let diversity = self.topo.diversity.index();
+        let density = self.density_of(link);
+        let (start, hands_on, robot_unit, robot_escalated, human_botched) = match executor {
+            Executor::Human | Executor::HumanWithDevice => {
+                let mut dur = self.techs.action_duration(action);
+                if executor == Executor::HumanWithDevice && action == RepairAction::CleanEndFace {
+                    // The Level-1 cleaning unit on the bench: the robot
+                    // does the inspect/clean cycle while the technician
+                    // handles transport — roughly half the manual time.
+                    dur = dur.mul_f64(0.5);
+                }
+                let a = self.techs.assign(now, priority, walk_m, dur);
+                let botched = self.techs.botched();
+                self.tech_time += dur + SimDuration::from_secs_f64(walk_m);
+                self.costs
+                    .charge_technician(&self.cfg.costs, dur + SimDuration::from_secs_f64(walk_m));
+                (a.start, dur, None, false, botched)
+            }
+            Executor::SupervisedRobot | Executor::AutonomousRobot => {
+                // Run the op plan now to get its hands-on duration and
+                // whether the robot will escalate; travel is charged by
+                // the fleet from the chosen unit's actual distance.
+                let travel_row_m = 0.0;
+                let op = match action {
+                    RepairAction::CleanEndFace => {
+                        let cores = medium.cores().max(2);
+                        let cause_dirty = self.links_rt[link.index()]
+                            .incident
+                            .as_ref()
+                            .map(|i| i.cause == RootCause::DirtyEndFace)
+                            .unwrap_or(false);
+                        let exposure = if cause_dirty { 0.9 } else { 0.25 };
+                        let mut ef =
+                            EndFace::contaminated(cores, exposure, &mut self.ops);
+                        run_clean(
+                            &self.fleet.timings,
+                            &self.fleet.vision,
+                            travel_row_m,
+                            diversity,
+                            density,
+                            &mut ef,
+                            &mut self.ops,
+                        )
+                    }
+                    RepairAction::Reseat => run_reseat(
+                        &self.fleet.timings,
+                        &self.fleet.vision,
+                        travel_row_m,
+                        diversity,
+                        density,
+                        &mut self.ops,
+                    ),
+                    RepairAction::ReplaceTransceiver
+                    | RepairAction::ReplaceCable
+                    | RepairAction::ReplaceSwitchHardware => {
+                        let kind = match action {
+                            RepairAction::ReplaceTransceiver => ReplaceKind::Transceiver,
+                            RepairAction::ReplaceCable => ReplaceKind::Cable {
+                                route_m: self.topo.link(link).cable.length_m,
+                            },
+                            _ => ReplaceKind::SwitchHardware,
+                        };
+                        run_replace(
+                            &self.fleet.timings,
+                            &self.fleet.vision,
+                            travel_row_m,
+                            diversity,
+                            density,
+                            kind,
+                            &mut self.ops,
+                        )
+                    }
+                };
+                let dur = op.total();
+                match self
+                    .fleet
+                    .assign(&self.topo.layout, now, rack, dur)
+                {
+                    Some(a) => {
+                        let mut start = a.start;
+                        let dur = a.total; // travel + hands-on
+                        // Level 2: a human supervisor is reserved for the
+                        // whole operation (remote station; no walk).
+                        if executor == Executor::SupervisedRobot {
+                            let sup = self.techs.assign(now, priority, 0.0, dur);
+                            start = start.max(sup.start);
+                            self.tech_time += dur;
+                            self.costs.charge_technician(&self.cfg.costs, dur);
+                        }
+                        self.costs.charge_robot(&self.cfg.costs, dur);
+                        (start, dur, Some(a.unit), op.escalated, false)
+                    }
+                    None => {
+                        // No robot can reach this rack: human fallback.
+                        let dur = self.techs.action_duration(action);
+                        let a = self.techs.assign(now, priority, walk_m, dur);
+                        let botched = self.techs.botched();
+                        self.tech_time += dur;
+                        self.costs.charge_technician(&self.cfg.costs, dur);
+                        (a.start, dur, None, false, botched)
+                    }
+                }
+            }
+        };
+        // §3.4 safety interlock: humans and robots may not share an
+        // exclusion zone. The booking may slip to the zone's next clear
+        // window (the booked actor idles through the conflict).
+        let actor_kind = match executor {
+            Executor::Human | Executor::HumanWithDevice => ZoneActor::Human,
+            Executor::SupervisedRobot | Executor::AutonomousRobot => ZoneActor::Robot,
+        };
+        let start = self.zones.reserve(actor_kind, rack, now, start, hands_on);
+        self.active.insert(
+            ticket,
+            ActiveRepair {
+                link,
+                action,
+                executor,
+                announcement,
+                robot_unit,
+                hands_on,
+                robot_escalated,
+                human_botched,
+            },
+        );
+        self.board.set_state(ticket, TicketState::Dispatched);
+        sched.schedule(start, Ev::RepairStart { ticket });
+        sched.schedule(start + hands_on, Ev::RepairDone { ticket });
+    }
+
+    fn actor_profile(executor: Executor) -> ActorProfile {
+        match executor {
+            Executor::Human | Executor::HumanWithDevice => ActorProfile::human(),
+            Executor::SupervisedRobot => ActorProfile::supervised_robot(),
+            Executor::AutonomousRobot => ActorProfile::robot(),
+        }
+    }
+
+    fn on_repair_start(&mut self, ticket: TicketId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some(repair) = self.active.get(&ticket) else {
+            return;
+        };
+        let link = repair.link;
+        let executor = repair.executor;
+        // Spurious check: a reactive ticket whose incident self-healed
+        // before hands-on work closes as a false positive (the actor
+        // inspects, finds nothing).
+        let trigger = self.board.get(ticket).trigger;
+        if trigger.is_reactive() && self.links_rt[link.index()].incident.is_none() {
+            self.active.remove(&ticket);
+            self.board.close(ticket, now, true);
+            return;
+        }
+        // Apply the pre-announced drain.
+        if let Some(ann) = self.active.get(&ticket).and_then(|r| r.announcement.clone()) {
+            maintctl::drain::apply(&mut self.state, &ann);
+            for &l in &ann.drained {
+                self.update_availability(l, now);
+            }
+        }
+        self.board.set_state(ticket, TicketState::InProgress);
+        // Physical contact: roll the disturbance dice.
+        let profile = Self::actor_profile(executor);
+        let effects = disturb(&self.topo, link, &profile, &mut self.ops);
+        for e in effects {
+            match e {
+                DisturbanceEffect::TransientBurst {
+                    link: nb,
+                    duration,
+                    loss,
+                } => {
+                    self.cascade_bursts += 1;
+                    if self.state.link(nb).routable() {
+                        // The burst hits live traffic: the co-design
+                        // failure mode A1 measures.
+                        self.cascade_bursts_live += 1;
+                        self.burst_impact_loss_s += duration.as_secs_f64() * loss;
+                    }
+                    let epoch = self.bump_epoch(nb);
+                    self.links_rt[nb.index()].burst_loss = Some(loss);
+                    self.recompute_link(nb, now);
+                    sched.schedule_in(duration, Ev::BurstEnd { link: nb, epoch });
+                }
+                DisturbanceEffect::LatentFault { link: nb, cause } => {
+                    self.links_rt[nb.index()].pending_latent = Some(cause);
+                    self.links_rt[nb.index()].pending_is_cascade = true;
+                    self.recompute_link(nb, now);
+                    let delay = self.injector.latent_manifest_delay();
+                    sched.schedule_in(delay, Ev::LatentManifest { link: nb, cause });
+                }
+            }
+        }
+    }
+
+    fn on_repair_done(&mut self, ticket: TicketId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some(repair) = self.active.remove(&ticket) else {
+            return;
+        };
+        let link = repair.link;
+        // Release the drain, charging its capacity impact: drained
+        // link-hours weighted by the utilization at the window midpoint.
+        if let Some(ann) = &repair.announcement {
+            let mid = now - repair.hands_on / 2;
+            let util = diurnal_utilization(mid);
+            let impact = util * repair.hands_on.as_hours_f64() * ann.drained.len() as f64;
+            self.drain_capacity_impact += impact;
+            if self.board.get(ticket).trigger == TicketTrigger::Proactive {
+                self.campaign_drain_impact += impact;
+            }
+            maintctl::drain::release(&mut self.state, ann);
+            for &l in &ann.drained {
+                self.update_availability(l, now);
+            }
+        }
+        let medium = self.topo.link(link).cable.medium;
+        let robotic = repair.robot_unit.is_some();
+        // Robot breakdown roll.
+        if let Some(unit) = repair.robot_unit {
+            self.fleet.breakdown_check(unit, now);
+        }
+        // Escalation: the robot could not complete; a human redoes the
+        // same action (dispatched fresh through the tech pool).
+        if repair.robot_escalated {
+            self.human_escalations += 1;
+            let st = self.actions.entry(repair.action).or_default();
+            st.attempts += 1;
+            st.robotic += 1;
+            st.escalations += 1;
+            self.board.record_attempt(
+                ticket,
+                AttemptRecord {
+                    action: repair.action,
+                    started: now - repair.hands_on,
+                    finished: now,
+                    fixed: false,
+                    robotic: true,
+                },
+            );
+            self.forced_action.insert(ticket, repair.action);
+            // Force human execution by re-dispatching at a level-0 view:
+            // simplest honest model — book a technician directly.
+            let dur = self.techs.action_duration(repair.action);
+            let walk_m = self.topo.layout.walk_distance_m(
+                RackLoc { row: 0, col: 0 },
+                self.rack_of(link),
+            );
+            let priority = self.board.get(ticket).priority;
+            let a = self.techs.assign(now, priority, walk_m, dur);
+            let botched = self.techs.botched();
+            self.tech_time += dur;
+            self.costs.charge_technician(&self.cfg.costs, dur);
+            let rack = self.rack_of(link);
+            let start = self.zones.reserve(ZoneActor::Human, rack, now, a.start, dur);
+            self.active.insert(
+                ticket,
+                ActiveRepair {
+                    link,
+                    action: repair.action,
+                    executor: Executor::Human,
+                    announcement: repair.announcement,
+                    robot_unit: None,
+                    hands_on: dur,
+                    robot_escalated: false,
+                    human_botched: botched,
+                },
+            );
+            sched.schedule(start, Ev::RepairStart { ticket });
+            sched.schedule(start + dur, Ev::RepairDone { ticket });
+            return;
+        }
+        // Resolve the repair outcome.
+        let mut fixed = false;
+        let cause = self.links_rt[link.index()].incident.as_ref().map(|i| i.cause);
+        if let Some(cause) = cause {
+            if !repair.human_botched {
+                fixed = repair.action.attempt(cause, medium, &mut self.outcomes);
+            }
+        }
+        // Maintenance side effects (apply whether or not an incident was
+        // present — proactive work lands here with `cause == None`).
+        self.links_rt[link.index()].last_maintenance = now;
+        if let Some(latent) = self.links_rt[link.index()].pending_latent {
+            // Maintenance can clear a latent fault before it manifests:
+            // that is the entire proactive-value mechanism.
+            if self
+                .outcomes
+                .chance(repair.action.efficacy(latent, medium))
+            {
+                self.links_rt[link.index()].pending_latent = None;
+            }
+        }
+        match repair.action {
+            RepairAction::ReplaceTransceiver => {
+                self.costs
+                    .charge_hardware(&self.cfg.costs, HardwareKind::Transceiver);
+                if let Some(unit) = repair.robot_unit {
+                    if !self.fleet.take_spare(unit) {
+                        self.fleet.restock(unit);
+                    }
+                }
+            }
+            RepairAction::ReplaceCable => {
+                self.costs
+                    .charge_hardware(&self.cfg.costs, HardwareKind::Cable);
+            }
+            RepairAction::ReplaceSwitchHardware => {
+                // Modular chassis (spines) replace at line-card
+                // granularity; fixed-config ToRs swap whole (§3.2:
+                // "replace the NIC, line card, or switch").
+                let (a, b) = self.topo.endpoints(link);
+                let sw = if self.topo.node(a).is_switch() { a } else { b };
+                let modular = match &self.topo.node(sw).kind {
+                    dcmaint_dcnet::NodeKind::Switch { spec, .. } => {
+                        spec.ports_per_linecard < spec.radix
+                    }
+                    dcmaint_dcnet::NodeKind::Server => false,
+                };
+                self.costs.charge_hardware(
+                    &self.cfg.costs,
+                    if modular {
+                        HardwareKind::LineCard
+                    } else {
+                        HardwareKind::Switch
+                    },
+                );
+            }
+            _ => {}
+        }
+        if fixed {
+            self.clear_incident(link, now);
+            if repair.action == RepairAction::Reseat {
+                if let Some(planner) = self.controller.proactive_mut() {
+                    planner.record_reseat_fix(&self.topo, link, now);
+                }
+            }
+            self.fixed_attempts_by_ticket.insert(ticket, true);
+        }
+        let st = self.actions.entry(repair.action).or_default();
+        st.attempts += 1;
+        if robotic {
+            st.robotic += 1;
+        }
+        if fixed {
+            st.fixes += 1;
+        }
+        self.board.record_attempt(
+            ticket,
+            AttemptRecord {
+                action: repair.action,
+                started: now - repair.hands_on,
+                finished: now,
+                fixed,
+                robotic,
+            },
+        );
+        // Drop any cleared precursor loss from the link's visible state.
+        self.recompute_link(link, now);
+        sched.schedule_in(
+            self.controller.config().verify_soak,
+            Ev::VerifyDone { ticket },
+        );
+    }
+
+    fn on_verify_done(&mut self, ticket: TicketId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.board.get(ticket).is_closed() {
+            return;
+        }
+        let link = self.board.get(ticket).link;
+        if self.links_rt[link.index()].incident.is_some() {
+            // Still broken: climb the ladder. Drop any forced action so
+            // the escalation engine decides.
+            self.forced_action.remove(&ticket);
+            sched.schedule_now(Ev::Dispatch { ticket });
+            return;
+        }
+        // Healthy: close. Spurious iff nothing we did ever fixed it and
+        // the ticket was reactive (it healed itself).
+        let trigger = self.board.get(ticket).trigger;
+        let had_fix = self
+            .fixed_attempts_by_ticket
+            .remove(&ticket)
+            .unwrap_or(false);
+        let spurious = trigger.is_reactive() && !had_fix;
+        if !spurious && trigger.is_reactive() {
+            self.attempts_per_fix
+                .push(self.board.get(ticket).attempt_count() as u32);
+        }
+        self.board.close(ticket, now, spurious);
+        self.forced_action.remove(&ticket);
+        self.defer_counts.remove(&ticket);
+        self.trough_deferred.remove(&ticket);
+        self.telemetry.on_maintenance(link, now);
+    }
+
+    // ----- proactive & predictive loops ------------------------------
+
+    fn on_proactive_scan(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        sched.schedule_in(SimDuration::from_hours(1), Ev::ProactiveScan);
+        let util = diurnal_utilization(now);
+        let Some(planner) = self.controller.proactive_mut() else {
+            return;
+        };
+        let campaigns = planner.evaluate(&self.topo, util, now);
+        for c in campaigns {
+            self.campaigns += 1;
+            // Pace the campaign: §4 schedules this work *because* it is
+            // low-impact; opening every port of a switch at once would
+            // drain a whole panel simultaneously and let the disturbance
+            // rolls of back-to-back operations compound. One port every
+            // 15 minutes keeps at most one campaign touch per switch in
+            // flight.
+            for (i, link) in c.links.into_iter().enumerate() {
+                sched.schedule_in(
+                    SimDuration::from_mins(15) * i as u64,
+                    Ev::ProactiveOpen { link },
+                );
+            }
+        }
+    }
+
+    fn on_proactive_open(&mut self, link: LinkId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.board.open_on(link).is_some() || self.links_rt[link.index()].incident.is_some() {
+            return;
+        }
+        self.campaign_links += 1;
+        if let Some(id) =
+            self.open_ticket(link, TicketTrigger::Proactive, Priority::P2, now, sched)
+        {
+            self.forced_action.insert(id, RepairAction::Reseat);
+        }
+    }
+
+    fn on_predictive_scan(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some(pc) = self.controller.predictive_config().cloned() else {
+            return;
+        };
+        sched.schedule_in(pc.scan_period, Ev::PredictiveScan);
+        let horizon = pc.label_horizon;
+        // Score every link first; flag only the top few above threshold.
+        // An uncapped flagger degenerates into cleaning the whole fabric
+        // every scan — which both wastes robot time and destroys its own
+        // training labels (every flagged link is intervened on).
+        let mut scored: Vec<(LinkId, f64, [f64; FEATURE_DIM], u64)> = Vec::new();
+        for l in self.topo.link_ids() {
+            let features = {
+                let counters = self.telemetry.counters(l);
+                extract(&self.topo, l, counters, now)
+            };
+            let Some(pred) = self.controller.predictor() else {
+                return;
+            };
+            let score = pred.score(&features);
+            let incidents_before = self.telemetry.counters_ref(l).incidents_total();
+            scored.push((l, score, features, incidents_before));
+        }
+        let max_flags = (self.topo.link_count() / 50).max(1);
+        // Relative threshold: flag links whose risk is a multiple of the
+        // fleet mean (subject to an absolute floor), so the flagger
+        // tracks the base rate instead of assuming one.
+        let mean_score =
+            scored.iter().map(|&(_, s, _, _)| s).sum::<f64>() / scored.len().max(1) as f64;
+        let threshold = (pc.risk_lift * mean_score).max(pc.score_floor);
+        let mut candidates: Vec<usize> = (0..scored.len())
+            .filter(|&i| {
+                let (l, score, _, _) = scored[i];
+                score >= threshold
+                    && self.board.open_on(l).is_none()
+                    && self.links_rt[l.index()].incident.is_none()
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            scored[b]
+                .1
+                .partial_cmp(&scored[a].1)
+                .expect("scores are finite")
+        });
+        candidates.truncate(max_flags);
+        let flagged_set: std::collections::HashSet<LinkId> =
+            candidates.iter().map(|&i| scored[i].0).collect();
+        for &i in &candidates {
+            let l = scored[i].0;
+            let medium = self.topo.link(l).cable.medium;
+            let action = if medium.is_separable() {
+                RepairAction::CleanEndFace
+            } else {
+                RepairAction::Reseat
+            };
+            if let Some(id) =
+                self.open_ticket(l, TicketTrigger::Predictive, Priority::P2, now, sched)
+            {
+                self.forced_action.insert(id, action);
+            }
+        }
+        for (l, _, features, incidents_before) in scored {
+            sched.schedule_in(
+                horizon,
+                Ev::PredictiveLabel {
+                    link: l,
+                    features,
+                    flagged: flagged_set.contains(&l),
+                    incidents_before,
+                },
+            );
+        }
+    }
+
+    fn on_predictive_label(
+        &mut self,
+        link: LinkId,
+        features: [f64; FEATURE_DIM],
+        flagged: bool,
+        incidents_before: u64,
+    ) {
+        let failed = self.telemetry.counters_ref(link).incidents_total() > incidents_before;
+        self.prediction.record(flagged, failed);
+        // Train only on non-intervened links: a flagged link got
+        // maintenance, so its (non-)failure is not a clean label.
+        if !flagged {
+            if let Some(pred) = self.controller.predictor_mut() {
+                pred.train(&features, failed);
+            }
+        }
+    }
+
+    // ----- finish -----------------------------------------------------
+
+    fn finish(mut self, horizon: SimTime) -> RunReport {
+        // Robot fleet amortization for the whole run.
+        let fleet_time = self.cfg.duration.mul_f64(self.fleet.len() as f64);
+        self.costs.charge_robot(&self.cfg.costs, fleet_time);
+        let availability = self.avail.summarize(horizon, self.topo.link_count());
+        self.costs
+            .charge_downtime(&self.cfg.costs, availability.down_total);
+        let mut service_windows = dcmaint_metrics::DurationSamples::new();
+        for t in self.board.all() {
+            if t.state == TicketState::Closed && t.trigger.is_reactive() {
+                if let Some(w) = t.service_window() {
+                    service_windows.record(w);
+                }
+            }
+        }
+        let tickets_fixed = self
+            .board
+            .all()
+            .iter()
+            .filter(|t| t.state == TicketState::Closed)
+            .count() as u64;
+        let tickets_spurious = self
+            .board
+            .all()
+            .iter()
+            .filter(|t| t.state == TicketState::ClosedSpurious)
+            .count() as u64;
+        let mean_loss_ewma = {
+            let n = self.topo.link_count().max(1);
+            self.topo
+                .link_ids()
+                .map(|l| self.telemetry.counters_ref(l).loss_ewma())
+                .sum::<f64>()
+                / n as f64
+        };
+        RunReport {
+            duration: self.cfg.duration,
+            ended_at: horizon,
+            links: self.topo.link_count(),
+            incidents: self.incidents,
+            cascade_incidents: self.cascade_incidents,
+            cascade_bursts: self.cascade_bursts,
+            cascade_bursts_live: self.cascade_bursts_live,
+            burst_impact_loss_s: self.burst_impact_loss_s,
+            tickets_by_trigger: self.tickets_by_trigger,
+            tickets_fixed,
+            tickets_spurious,
+            service_windows,
+            attempts_per_fix: self.attempts_per_fix,
+            actions: self.actions,
+            availability,
+            costs: self.costs,
+            tech_time: self.tech_time,
+            robot_time: self.fleet.total_busy(),
+            robot_ops: self.fleet.total_ops(),
+            human_escalations: self.human_escalations,
+            campaigns: self.campaigns,
+            campaign_links: self.campaign_links,
+            prediction: self.prediction,
+            drains_deferred: self.drains_deferred,
+            drain_capacity_impact: self.drain_capacity_impact,
+            campaign_drain_impact: self.campaign_drain_impact,
+            mean_loss_ewma,
+        }
+    }
+}
+
+/// Debug/analysis helper: fraction of sampled service pairs connected in
+/// the given state (re-exported for examples).
+pub fn service_connectivity(topo: &Topology, state: &NetState, pairs: &[(NodeId, NodeId)]) -> f64 {
+    pair_connectivity(topo, state, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ScenarioConfig, TopologySpec};
+    use maintctl::AutomationLevel;
+    #[allow(unused_imports)]
+    use dcmaint_faults::RootCause as _RootCauseForTests;
+
+    fn small(seed: u64, level: AutomationLevel, days: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::at_level(seed, level);
+        cfg.topology = TopologySpec::LeafSpine {
+            spines: 2,
+            leaves: 4,
+            servers_per_leaf: 2,
+        };
+        cfg.duration = SimDuration::from_days(days);
+        cfg.poll_period = SimDuration::from_secs(120);
+        cfg.faults.mtbi_per_link = SimDuration::from_days(15); // busy fabric
+        cfg
+    }
+
+    #[test]
+    fn l0_run_produces_incidents_and_repairs() {
+        let mut r = run(small(1, AutomationLevel::L0, 20));
+        assert!(r.incidents > 5, "incidents {}", r.incidents);
+        assert!(r.tickets_total() > 0);
+        assert!(r.tickets_fixed > 0, "some tickets must close fixed");
+        assert!(
+            r.median_service_window() > SimDuration::from_mins(30),
+            "human repairs take hours+: {}",
+            r.median_service_window()
+        );
+        assert!(r.availability.availability < 1.0);
+        assert!(r.availability.availability > 0.5);
+        assert!(r.costs.labor > 0.0);
+        assert_eq!(r.robot_ops, 0, "no robots at L0");
+    }
+
+    #[test]
+    fn l3_run_uses_robots_and_is_fast() {
+        let mut r = run(small(1, AutomationLevel::L3, 20));
+        assert!(r.robot_ops > 0, "robots must execute at L3");
+        assert!(
+            r.median_service_window() < SimDuration::from_hours(2),
+            "robotic repair is minutes-scale: {}",
+            r.median_service_window()
+        );
+    }
+
+    #[test]
+    fn service_window_shrinks_with_automation() {
+        // The headline claim (C3): L3 service windows are orders of
+        // magnitude below L0.
+        let mut l0 = run(small(2, AutomationLevel::L0, 20));
+        let mut l3 = run(small(2, AutomationLevel::L3, 20));
+        let w0 = l0.median_service_window();
+        let w3 = l3.median_service_window();
+        assert!(
+            w3.as_secs_f64() * 5.0 < w0.as_secs_f64(),
+            "L0 {w0} vs L3 {w3}"
+        );
+        // And availability improves.
+        assert!(l3.availability.availability >= l0.availability.availability);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(small(7, AutomationLevel::L2, 10));
+        let b = run(small(7, AutomationLevel::L2, 10));
+        assert_eq!(a.incidents, b.incidents);
+        assert_eq!(a.tickets_total(), b.tickets_total());
+        assert_eq!(a.tickets_fixed, b.tickets_fixed);
+        assert_eq!(a.robot_ops, b.robot_ops);
+        assert!((a.availability.availability - b.availability.availability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(small(1, AutomationLevel::L0, 10));
+        let b = run(small(99, AutomationLevel::L0, 10));
+        assert_ne!(
+            (a.incidents, a.tickets_total()),
+            (b.incidents, b.tickets_total())
+        );
+    }
+
+    #[test]
+    fn multiple_attempts_happen() {
+        let r = run(small(3, AutomationLevel::L0, 25));
+        // §1: failures frequently require multiple attempts.
+        assert!(
+            r.mean_attempts() > 1.05,
+            "mean attempts {}",
+            r.mean_attempts()
+        );
+        // And reseat is attempted most (first rung).
+        let reseats = r.action(RepairAction::Reseat);
+        assert!(reseats.attempts > 0);
+        for a in [
+            RepairAction::ReplaceCable,
+            RepairAction::ReplaceSwitchHardware,
+        ] {
+            assert!(
+                r.action(a).attempts <= reseats.attempts,
+                "{a:?} attempted more than reseat"
+            );
+        }
+    }
+
+    #[test]
+    fn spurious_tickets_exist() {
+        // Self-healing incidents + hours-long human queues → false
+        // positives at L0.
+        let r = run(small(4, AutomationLevel::L0, 25));
+        assert!(r.tickets_spurious > 0, "self-healed tickets close spurious");
+    }
+
+    #[test]
+    fn proactive_campaigns_fire_at_l3() {
+        // Needs the full-size baseline fabric: campaign triggers count
+        // reseat-fixes per switch, and a 4-link toy spine never crosses
+        // the "several links" threshold.
+        let mut cfg = ScenarioConfig::at_level(5, AutomationLevel::L3);
+        cfg.duration = SimDuration::from_days(30);
+        cfg.poll_period = SimDuration::from_secs(300);
+        cfg.faults.mtbi_per_link = SimDuration::from_days(8);
+        let r = run(cfg);
+        assert!(r.campaigns > 0, "campaigns should trigger in 40 busy days");
+        assert!(r.campaign_links > 0);
+        let proactive = r.tickets_by_trigger.get("proactive").copied().unwrap_or(0);
+        assert!(proactive > 0);
+    }
+
+    #[test]
+    fn cascades_follow_human_touches() {
+        let l0 = run(small(6, AutomationLevel::L0, 20));
+        let l3 = run(small(6, AutomationLevel::L3, 20));
+        // Humans brush far more neighbors than robot grippers — *per
+        // physical operation*. (L3 executes many more operations overall
+        // because proactive/predictive work is nearly free, so absolute
+        // counts are not comparable.)
+        let ops = |r: &crate::report::RunReport| {
+            r.actions.values().map(|s| s.attempts).sum::<u64>().max(1) as f64
+        };
+        let rate0 = l0.cascade_bursts as f64 / ops(&l0);
+        let rate3 = l3.cascade_bursts as f64 / ops(&l3);
+        assert!(
+            rate0 > 2.0 * rate3,
+            "bursts/op: human {rate0:.2} vs robot {rate3:.2}"
+        );
+    }
+
+    #[test]
+    fn scripted_incident_runs_the_whole_pipeline() {
+        // Failure injection: one hard firmware hang at a known time with
+        // no organic noise. The pipeline must detect it, ticket it,
+        // reseat it (FW hang: 90% reseat efficacy), and close.
+        use crate::config::ScriptedIncident;
+        let mut cfg = small(42, AutomationLevel::L3, 3);
+        cfg.organic_faults = false;
+        cfg.controller = Some({
+            let mut c = maintctl::ControllerConfig::at_level(AutomationLevel::L3);
+            c.proactive = None;
+            c.predictive = None;
+            c
+        });
+        cfg.scripted = vec![ScriptedIncident {
+            at: SimTime::ZERO + SimDuration::from_hours(5),
+            link_index: 0,
+            cause: RootCause::FirmwareHang,
+        }];
+        let mut r = run(cfg);
+        assert_eq!(r.incidents, 1);
+        assert_eq!(r.tickets_total(), 1);
+        assert_eq!(
+            r.tickets_by_trigger.get("down").copied().unwrap_or(0),
+            1,
+            "FW hang manifests hard-down"
+        );
+        assert_eq!(r.tickets_fixed, 1);
+        assert!(r.action(RepairAction::Reseat).attempts >= 1);
+        // Detection + robotic repair: the single window is minutes-scale.
+        assert!(
+            r.median_service_window() < SimDuration::from_hours(1),
+            "window {}",
+            r.median_service_window()
+        );
+    }
+
+    #[test]
+    fn scripted_multi_incident_fault_injection() {
+        use crate::config::ScriptedIncident;
+        let mut cfg = small(43, AutomationLevel::L0, 8);
+        cfg.organic_faults = false;
+        let causes = [
+            RootCause::DirtyEndFace,
+            RootCause::SwitchPortFault,
+            RootCause::DamagedFiber,
+        ];
+        cfg.scripted = (0..3)
+            .map(|i| ScriptedIncident {
+                at: SimTime::ZERO + SimDuration::from_hours(2 + i),
+                link_index: i as usize * 5,
+                cause: causes[i as usize],
+            })
+            .collect();
+        let r = run(cfg);
+        // The three scripted incidents, plus any cascades the human
+        // repairs themselves seeded (organic faults are off, so every
+        // extra incident is attributable to the repairs).
+        assert!(r.incidents >= 3);
+        assert_eq!(r.incidents - 3, r.cascade_incidents);
+        assert!(r.tickets_total() >= 3);
+        // Every scripted link eventually recovers (or the run ends with
+        // open work — either way, the pipeline made attempts).
+        let total_attempts: u64 = r.actions.values().map(|s| s.attempts).sum();
+        assert!(total_attempts >= 3);
+    }
+
+    #[test]
+    fn no_faults_no_tickets() {
+        let mut cfg = small(44, AutomationLevel::L3, 5);
+        cfg.organic_faults = false;
+        cfg.controller = Some({
+            let mut c = maintctl::ControllerConfig::at_level(AutomationLevel::L3);
+            c.proactive = None;
+            c.predictive = None;
+            c
+        });
+        let r = run(cfg);
+        assert_eq!(r.incidents, 0);
+        assert_eq!(r.tickets_total(), 0);
+        assert_eq!(r.availability.availability, 1.0);
+        assert_eq!(r.costs.labor, 0.0);
+    }
+
+    #[test]
+    fn uncoordinated_repairs_skip_drains() {
+        let mut cfg = small(45, AutomationLevel::L0, 15);
+        cfg.coordinate_drains = false;
+        let r = run(cfg);
+        assert_eq!(r.drains_deferred, 0, "no planning, nothing defers");
+        assert!(r.cascade_bursts_live > 0);
+    }
+
+    #[test]
+    fn trough_deferral_delays_routine_repairs() {
+        use crate::config::ScriptedIncident;
+        // A single gray (P2) incident at 18:00 — peak hours. With trough
+        // scheduling the dispatch waits for the morning trough.
+        let build = |trough: bool| {
+            let mut cfg = small(46, AutomationLevel::L4, 3);
+            cfg.organic_faults = false;
+            cfg.faults.self_heal_prob = 0.0; // keep the incident alive
+            let mut ctl = maintctl::ControllerConfig::at_level(AutomationLevel::L4);
+            ctl.proactive = None;
+            ctl.predictive = None;
+            ctl.trough_scheduling = trough;
+            cfg.controller = Some(ctl);
+            cfg.scripted = vec![ScriptedIncident {
+                at: SimTime::ZERO + SimDuration::from_hours(18),
+                link_index: 2,
+                cause: RootCause::OxidizedContact,
+            }];
+            cfg
+        };
+        let mut eager = run(build(false));
+        let mut patient = run(build(true));
+        // The incident may manifest hard-down (P0, never deferred); only
+        // assert when it came up gray in both (same seed → same
+        // manifestation).
+        if eager.tickets_by_trigger.contains_key("gray")
+            || eager.tickets_by_trigger.contains_key("flap")
+        {
+            let we = eager.median_service_window();
+            let wp = patient.median_service_window();
+            assert!(
+                wp > we + SimDuration::from_hours(4),
+                "deferred window {wp} should exceed eager {we} by hours"
+            );
+        } else {
+            // Hard-down: identical behaviour either way.
+            assert_eq!(
+                eager.median_service_window(),
+                patient.median_service_window()
+            );
+        }
+    }
+
+    #[test]
+    fn hall_pool_config_is_honored() {
+        let mut cfg = small(47, AutomationLevel::L3, 10);
+        cfg.robots_per_row = 0;
+        cfg.hall_pool = Some(2);
+        let r = run(cfg);
+        assert!(r.robot_ops > 0, "hall AGVs execute repairs");
+        let mut none = small(47, AutomationLevel::L3, 10);
+        none.robots_per_row = 0;
+        none.hall_pool = Some(0);
+        let r0 = run(none);
+        assert_eq!(r0.robot_ops, 0, "empty hall pool falls back to humans");
+    }
+
+    #[test]
+    fn defer_cap_forces_emergency_maintenance() {
+        use crate::config::ScriptedIncident;
+        // A gray fault on a single-homed server link: its drain always
+        // disconnects the server, so the planner defers — but only up to
+        // the cap, after which the repair proceeds anyway.
+        let mut cfg = small(48, AutomationLevel::L3, 6);
+        cfg.organic_faults = false;
+        cfg.faults.self_heal_prob = 0.0;
+        let mut ctl = maintctl::ControllerConfig::at_level(AutomationLevel::L3);
+        ctl.proactive = None;
+        ctl.predictive = None;
+        cfg.controller = Some(ctl);
+        // Find a server access link: use a Degraded-manifesting cause on
+        // a DAC (OxidizedContact mostly gray). Link index: server links
+        // exist; scripted link 3 may be an uplink — search isn't
+        // possible here, so script several links and rely on at least
+        // one being single-homed.
+        cfg.scripted = (0..6)
+            .map(|i| ScriptedIncident {
+                at: SimTime::ZERO + SimDuration::from_hours(2),
+                link_index: i * 3,
+                cause: RootCause::OxidizedContact,
+            })
+            .collect();
+        let r = run(cfg);
+        // All tickets eventually close (nothing deferred forever).
+        assert_eq!(
+            r.tickets_fixed + r.tickets_spurious,
+            r.tickets_total(),
+            "every ticket resolves despite defer-worthy drains"
+        );
+    }
+
+    #[test]
+    fn l2_supervision_consumes_technician_time_without_walks() {
+        let r = run(small(49, AutomationLevel::L2, 15));
+        // Supervised robots: tech time accrues (supervision) and robots
+        // do physical work.
+        assert!(r.robot_ops > 0);
+        assert!(r.tech_time > SimDuration::ZERO);
+        let supervised: u64 = r
+            .actions
+            .values()
+            .map(|s| s.robotic)
+            .sum();
+        assert!(supervised > 0);
+    }
+
+    #[test]
+    fn costs_accumulate_sanely() {
+        let r = run(small(8, AutomationLevel::L2, 15));
+        assert!(r.costs.labor > 0.0, "L2 supervision costs technician time");
+        assert!(r.costs.robots > 0.0);
+        assert!(r.costs.total() > r.costs.labor);
+    }
+}

@@ -1,0 +1,355 @@
+//! A-series ablations: isolating the design choices the paper argues
+//! for, by turning each one off.
+//!
+//! * **A1 — cross-layer co-design** (§2, §4): with vs without drain
+//!   coordination and pre-contact announcements. Measures how many
+//!   disturbance bursts land on links that were still carrying traffic.
+//! * **A2 — escalation-ladder memory** (§3.2): sweep the repeat budget
+//!   per rung. Climbing too eagerly burns hardware; too patiently burns
+//!   time.
+//! * **A3 — hardware standardization** (§4: "hardware should be
+//!   redesigned to reduce diversity … making it easier for robots to
+//!   manipulate"): sweep fleet diversity and measure robot→human
+//!   escalations and the repair-speed consequence.
+
+use dcmaint_dcnet::DiversityProfile;
+use dcmaint_des::SimDuration;
+use dcmaint_faults::RepairAction;
+use dcmaint_metrics::{fnum, fpct, Align, Table};
+use maintctl::{AutomationLevel, ControllerConfig, EscalationConfig};
+
+use crate::config::ScenarioConfig;
+use crate::engine::run;
+
+/// Shared ablation parameters.
+#[derive(Debug, Clone)]
+pub struct AblationParams {
+    /// RNG seed shared across arms.
+    pub seed: u64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+}
+
+impl AblationParams {
+    /// CI-sized.
+    pub fn quick(seed: u64) -> Self {
+        AblationParams {
+            seed,
+            duration: SimDuration::from_days(20),
+        }
+    }
+
+    /// Paper-sized.
+    pub fn full(seed: u64) -> Self {
+        AblationParams {
+            seed,
+            duration: SimDuration::from_days(45),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- A1 --
+
+/// One row of the A1 table.
+#[derive(Debug, Clone)]
+pub struct A1Row {
+    /// Whether drains were coordinated.
+    pub coordinated: bool,
+    /// Automation level.
+    pub level: AutomationLevel,
+    /// Bursts landing on live (undrained) links.
+    pub live_bursts: u64,
+    /// All bursts.
+    pub total_bursts: u64,
+    /// Fraction of bursts hitting live traffic.
+    pub live_fraction: f64,
+    /// Lossy link-seconds inflicted on live traffic.
+    pub impact_loss_s: f64,
+    /// Availability. Note: drains themselves count as (intentional)
+    /// unavailability, so the *impact* column — loss inflicted on
+    /// traffic that was supposed to be protected — is A1's headline,
+    /// not this one.
+    pub availability: f64,
+}
+
+/// Run A1: co-design on/off at L0 (wide human contact) and L3.
+pub fn run_a1(p: &AblationParams) -> Vec<A1Row> {
+    let mut rows = Vec::new();
+    for level in [AutomationLevel::L0, AutomationLevel::L3] {
+        for coordinated in [true, false] {
+            let mut cfg = ScenarioConfig::at_level(p.seed, level);
+            cfg.duration = p.duration;
+            cfg.coordinate_drains = coordinated;
+            let mut ctl = ControllerConfig::at_level(level);
+            ctl.proactive = None;
+            ctl.predictive = None;
+            cfg.controller = Some(ctl);
+            let report = run(cfg);
+            rows.push(A1Row {
+                coordinated,
+                level,
+                live_bursts: report.cascade_bursts_live,
+                total_bursts: report.cascade_bursts,
+                live_fraction: report.cascade_bursts_live as f64
+                    / report.cascade_bursts.max(1) as f64,
+                impact_loss_s: report.burst_impact_loss_s,
+                availability: report.availability.availability,
+            });
+        }
+    }
+    rows
+}
+
+/// Render A1.
+pub fn a1_table(rows: &[A1Row]) -> Table {
+    let mut t = Table::new(
+        "A1: cross-layer drain co-design ablation",
+        &[
+            ("level", Align::Left),
+            ("co-design", Align::Left),
+            ("bursts on live links", Align::Right),
+            ("all bursts", Align::Right),
+            ("live fraction", Align::Right),
+            ("impact loss-s", Align::Right),
+            ("availability", Align::Right),
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.level.label().to_string(),
+            if r.coordinated { "on" } else { "off" }.to_string(),
+            r.live_bursts.to_string(),
+            r.total_bursts.to_string(),
+            fpct(r.live_fraction),
+            fnum(r.impact_loss_s, 0),
+            fnum(r.availability, 5),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- A2 --
+
+/// One row of the A2 table.
+#[derive(Debug, Clone)]
+pub struct A2Row {
+    /// Repeats allowed per rung before climbing.
+    pub repeats_per_rung: u32,
+    /// Mean attempts per fixed ticket.
+    pub mean_attempts: f64,
+    /// Median service window.
+    pub median_window: SimDuration,
+    /// Replacement hardware consumed (USD).
+    pub hardware_cost: f64,
+    /// Switch-hardware replacements executed.
+    pub switch_replacements: u64,
+}
+
+/// Run A2 at L3, reactive only.
+pub fn run_a2(p: &AblationParams) -> Vec<A2Row> {
+    [0u32, 1, 2]
+        .iter()
+        .map(|&repeats| {
+            let mut cfg = ScenarioConfig::at_level(p.seed, AutomationLevel::L3);
+            cfg.duration = p.duration;
+            let mut ctl = ControllerConfig::at_level(AutomationLevel::L3);
+            ctl.proactive = None;
+            ctl.predictive = None;
+            ctl.escalation = EscalationConfig {
+                repeats_per_rung: repeats,
+                ..EscalationConfig::default()
+            };
+            cfg.controller = Some(ctl);
+            let mut report = run(cfg);
+            A2Row {
+                repeats_per_rung: repeats,
+                mean_attempts: report.mean_attempts(),
+                median_window: report.median_service_window(),
+                hardware_cost: report.costs.hardware,
+                switch_replacements: report
+                    .action(RepairAction::ReplaceSwitchHardware)
+                    .attempts,
+            }
+        })
+        .collect()
+}
+
+/// Render A2.
+pub fn a2_table(rows: &[A2Row]) -> Table {
+    let mut t = Table::new(
+        "A2: escalation-ladder patience ablation (repeats per rung)",
+        &[
+            ("repeats/rung", Align::Right),
+            ("mean attempts", Align::Right),
+            ("median window", Align::Right),
+            ("hardware $", Align::Right),
+            ("switch swaps", Align::Right),
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.repeats_per_rung.to_string(),
+            fnum(r.mean_attempts, 2),
+            r.median_window.to_string(),
+            fnum(r.hardware_cost, 0),
+            r.switch_replacements.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- A3 --
+
+/// One row of the A3 table.
+#[derive(Debug, Clone)]
+pub struct A3Row {
+    /// Vendor count in the fleet.
+    pub vendors: u8,
+    /// Robot→human escalations.
+    pub escalations: u64,
+    /// Robot operations attempted.
+    pub robot_ops: u64,
+    /// Escalation rate.
+    pub escalation_rate: f64,
+    /// Median service window.
+    pub median_window: SimDuration,
+    /// Technician time consumed.
+    pub tech_time: SimDuration,
+}
+
+/// Run A3 at L3: fleet diversity sweep.
+pub fn run_a3(p: &AblationParams) -> Vec<A3Row> {
+    [1u8, 12, 24]
+        .iter()
+        .map(|&vendors| {
+            let mut cfg = ScenarioConfig::at_level(p.seed, AutomationLevel::L3);
+            cfg.duration = p.duration;
+            cfg.diversity = DiversityProfile {
+                vendor_count: vendors,
+            };
+            let mut ctl = ControllerConfig::at_level(AutomationLevel::L3);
+            ctl.proactive = None;
+            ctl.predictive = None;
+            cfg.controller = Some(ctl);
+            let mut report = run(cfg);
+            A3Row {
+                vendors,
+                escalations: report.human_escalations,
+                robot_ops: report.robot_ops,
+                escalation_rate: report.human_escalations as f64
+                    / report.robot_ops.max(1) as f64,
+                median_window: report.median_service_window(),
+                tech_time: report.tech_time,
+            }
+        })
+        .collect()
+}
+
+/// Render A3.
+pub fn a3_table(rows: &[A3Row]) -> Table {
+    let mut t = Table::new(
+        "A3: hardware standardization ablation (transceiver design diversity)",
+        &[
+            ("vendors", Align::Right),
+            ("robot ops", Align::Right),
+            ("escalations", Align::Right),
+            ("escalation rate", Align::Right),
+            ("median window", Align::Right),
+            ("tech time", Align::Right),
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.vendors.to_string(),
+            r.robot_ops.to_string(),
+            r.escalations.to_string(),
+            fpct(r.escalation_rate),
+            r.median_window.to_string(),
+            r.tech_time.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_codesign_shields_live_traffic() {
+        // The burst-impact measure is heavy-tailed; aggregate a few
+        // seeds so the comparison is about the mechanism, not one draw.
+        let mut frac_on = 0.0;
+        let mut frac_off = 0.0;
+        let mut impact_on = 0.0;
+        let mut impact_off = 0.0;
+        for seed in [201, 202, 203] {
+            let rows = run_a1(&AblationParams::quick(seed));
+            let l0_on = rows
+                .iter()
+                .find(|r| r.level == AutomationLevel::L0 && r.coordinated)
+                .unwrap();
+            let l0_off = rows
+                .iter()
+                .find(|r| r.level == AutomationLevel::L0 && !r.coordinated)
+                .unwrap();
+            frac_on += l0_on.live_fraction;
+            frac_off += l0_off.live_fraction;
+            impact_on += l0_on.impact_loss_s;
+            impact_off += l0_off.impact_loss_s;
+        }
+        // With co-design, human work drains neighbors first: a smaller
+        // fraction of bursts hits live traffic and the inflicted loss
+        // drops.
+        assert!(
+            frac_on < frac_off,
+            "live fraction on {frac_on:.2} vs off {frac_off:.2}"
+        );
+        // The loss-seconds product is heavy-tailed (a few long, lossy
+        // bursts dominate), so at CI scale only a weak bound is stable;
+        // the full-size table in EXPERIMENTS.md shows the clear gap.
+        assert!(
+            impact_on < 1.25 * impact_off,
+            "impact on {impact_on:.0} vs off {impact_off:.0}"
+        );
+    }
+
+    #[test]
+    fn a2_impatience_burns_hardware() {
+        let rows = run_a2(&AblationParams::quick(202));
+        let impatient = &rows[0]; // 0 repeats: climb immediately
+        let patient = &rows[2]; // 2 repeats
+        assert!(
+            impatient.hardware_cost > patient.hardware_cost,
+            "impatient ${} vs patient ${}",
+            impatient.hardware_cost,
+            patient.hardware_cost
+        );
+        assert!(impatient.switch_replacements >= patient.switch_replacements);
+        // But patience costs attempts.
+        assert!(patient.mean_attempts >= impatient.mean_attempts * 0.9);
+    }
+
+    #[test]
+    fn a3_diversity_causes_escalations() {
+        let rows = run_a3(&AblationParams::quick(203));
+        let standardized = &rows[0];
+        let diverse = &rows[2];
+        assert!(
+            diverse.escalation_rate > standardized.escalation_rate,
+            "24 vendors {:.3} vs 1 vendor {:.3}",
+            diverse.escalation_rate,
+            standardized.escalation_rate
+        );
+        // Standardized fleets barely ever call a human.
+        assert!(standardized.escalation_rate < 0.02);
+    }
+
+    #[test]
+    fn tables_render() {
+        let p = AblationParams::quick(204);
+        assert!(a1_table(&run_a1(&p)).render().contains("co-design"));
+        assert!(a2_table(&run_a2(&p)).render().contains("repeats/rung"));
+        assert!(a3_table(&run_a3(&p)).render().contains("vendors"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # dcmaint-scenarios — end-to-end runs and experiment harness
+//!
+//! Ties every substrate together: [`config::ScenarioConfig`] describes a
+//! run, [`engine::run`] executes it deterministically, and
+//! [`report::RunReport`] carries everything measured. The `experiments`
+//! module regenerates every quantitative claim in the paper (E1–E11,
+//! indexed in EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod experiments;
+pub mod report;
+
+pub use config::{ScenarioConfig, ScriptedIncident, TopologySpec};
+pub use engine::run;
+pub use report::{ActionStats, RunReport};

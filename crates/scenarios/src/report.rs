@@ -1,0 +1,260 @@
+//! The run report: everything a scenario measures, in one struct.
+//!
+//! Every experiment consumes these fields; EXPERIMENTS.md's metric
+//! definitions point here. Keeping the report flat (numbers and sample
+//! sets, no simulation objects) makes runs comparable and serializable.
+
+use std::collections::HashMap;
+
+use dcmaint_des::{SimDuration, SimTime};
+use serde_json::json;
+use dcmaint_faults::RepairAction;
+use dcmaint_metrics::{CostLedger, DurationSamples, FleetSummary};
+use maintctl::PredictionStats;
+
+/// Per-action outcome tallies.
+#[derive(Debug, Clone, Default)]
+pub struct ActionStats {
+    /// Attempts executed.
+    pub attempts: u64,
+    /// Attempts that fixed the incident (verified).
+    pub fixes: u64,
+    /// Attempts done by robots.
+    pub robotic: u64,
+    /// Robot attempts that escalated to humans.
+    pub escalations: u64,
+}
+
+impl ActionStats {
+    /// Fix rate per attempt.
+    pub fn fix_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.fixes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Everything measured in one scenario run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Simulated horizon.
+    pub duration: SimDuration,
+    /// End-of-run clock (== horizon unless the queue drained early).
+    pub ended_at: SimTime,
+    /// Links in the fabric.
+    pub links: usize,
+    /// Organic incidents injected.
+    pub incidents: u64,
+    /// Disturbance-seeded latent incidents that manifested (the §1
+    /// cascading failures).
+    pub cascade_incidents: u64,
+    /// Transient disturbance bursts inflicted on neighbors.
+    pub cascade_bursts: u64,
+    /// Bursts that landed on links carrying live traffic (not drained
+    /// ahead of the work) — the service-impacting subset.
+    pub cascade_bursts_live: u64,
+    /// Service impact of live bursts: Σ duration × loss over bursts that
+    /// hit routable links (lossy link-seconds inflicted on traffic).
+    pub burst_impact_loss_s: f64,
+    /// Tickets opened, by trigger label.
+    pub tickets_by_trigger: HashMap<&'static str, u64>,
+    /// Tickets closed with a verified fix.
+    pub tickets_fixed: u64,
+    /// Tickets closed spurious (self-healed / false positive).
+    pub tickets_spurious: u64,
+    /// Service windows of fixed reactive tickets (creation → verified
+    /// close) — the paper's headline metric.
+    pub service_windows: DurationSamples,
+    /// Repair attempts per fixed reactive ticket.
+    pub attempts_per_fix: Vec<u32>,
+    /// Per-action stats.
+    pub actions: HashMap<RepairAction, ActionStats>,
+    /// Link availability over the run.
+    pub availability: FleetSummary,
+    /// Operating costs.
+    pub costs: CostLedger,
+    /// Technician hands-on + travel time consumed.
+    pub tech_time: SimDuration,
+    /// Robot busy time consumed.
+    pub robot_time: SimDuration,
+    /// Robot operations run.
+    pub robot_ops: u64,
+    /// Robot-to-human escalations.
+    pub human_escalations: u64,
+    /// Proactive campaigns launched.
+    pub campaigns: u64,
+    /// Links proactively serviced.
+    pub campaign_links: u64,
+    /// Predictive scorer bookkeeping.
+    pub prediction: PredictionStats,
+    /// Drain requests deferred at least once.
+    pub drains_deferred: u64,
+    /// Capacity impact of maintenance drains: Σ over drained link-time
+    /// of the concurrent fabric utilization (utilization-weighted
+    /// link-hours). Timing repairs into the trough minimizes this.
+    pub drain_capacity_impact: f64,
+    /// The subset of [`RunReport::drain_capacity_impact`] attributable to
+    /// proactive-campaign tickets (E13's headline).
+    pub campaign_drain_impact: f64,
+    /// Mean loss-EWMA across links at end (gray-failure residue).
+    pub mean_loss_ewma: f64,
+}
+
+impl RunReport {
+    /// Median service window.
+    pub fn median_service_window(&mut self) -> SimDuration {
+        self.service_windows.median()
+    }
+
+    /// p95 service window.
+    pub fn p95_service_window(&mut self) -> SimDuration {
+        self.service_windows.quantile(0.95)
+    }
+
+    /// Mean repair attempts per fixed ticket ("failures frequently
+    /// require multiple attempts", §1).
+    pub fn mean_attempts(&self) -> f64 {
+        if self.attempts_per_fix.is_empty() {
+            return 0.0;
+        }
+        self.attempts_per_fix.iter().map(|&a| f64::from(a)).sum::<f64>()
+            / self.attempts_per_fix.len() as f64
+    }
+
+    /// Total tickets opened.
+    pub fn tickets_total(&self) -> u64 {
+        self.tickets_by_trigger.values().sum()
+    }
+
+    /// Stats for one action (zero-filled if never attempted).
+    pub fn action(&self, a: RepairAction) -> ActionStats {
+        self.actions.get(&a).cloned().unwrap_or_default()
+    }
+
+    /// Machine-readable summary of the run (stable field names; used by
+    /// tooling that consumes CLI output).
+    pub fn summary_json(&mut self) -> serde_json::Value {
+        let median = self.median_service_window().as_secs_f64();
+        let p95 = self.p95_service_window().as_secs_f64();
+        let actions: serde_json::Value = RepairAction::LADDER
+            .iter()
+            .map(|&a| {
+                let st = self.action(a);
+                (
+                    a.label().to_string(),
+                    json!({
+                        "attempts": st.attempts,
+                        "fixes": st.fixes,
+                        "robotic": st.robotic,
+                        "escalations": st.escalations,
+                    }),
+                )
+            })
+            .collect::<serde_json::Map<String, serde_json::Value>>()
+            .into();
+        json!({
+            "duration_days": self.duration.as_days_f64(),
+            "links": self.links,
+            "incidents": self.incidents,
+            "cascade_incidents": self.cascade_incidents,
+            "cascade_bursts": self.cascade_bursts,
+            "cascade_bursts_live": self.cascade_bursts_live,
+            "burst_impact_loss_s": self.burst_impact_loss_s,
+            "tickets": {
+                "by_trigger": self.tickets_by_trigger.iter()
+                    .map(|(&k, &v)| (k.to_string(), json!(v)))
+                    .collect::<serde_json::Map<_, _>>(),
+                "fixed": self.tickets_fixed,
+                "spurious": self.tickets_spurious,
+            },
+            "service_window_s": { "median": median, "p95": p95 },
+            "mean_attempts": self.mean_attempts(),
+            "availability": self.availability.availability,
+            "downtime_s": self.availability.down_total.as_secs_f64(),
+            "costs": {
+                "labor": self.costs.labor,
+                "robots": self.costs.robots,
+                "hardware": self.costs.hardware,
+                "downtime": self.costs.downtime,
+                "total": self.costs.total(),
+            },
+            "tech_time_h": self.tech_time.as_hours_f64(),
+            "robot": {
+                "ops": self.robot_ops,
+                "busy_h": self.robot_time.as_hours_f64(),
+                "escalations": self.human_escalations,
+            },
+            "proactive": { "campaigns": self.campaigns, "links": self.campaign_links },
+            "prediction": {
+                "total": self.prediction.total(),
+                "precision": self.prediction.precision(),
+                "recall": self.prediction.recall(),
+            },
+            "drains_deferred": self.drains_deferred,
+            "drain_capacity_impact": self.drain_capacity_impact,
+            "actions": actions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_metrics::FleetAvailability;
+
+    #[test]
+    fn summary_json_has_stable_top_level_keys() {
+        let avail = FleetAvailability::new(SimTime::ZERO).summarize(
+            SimTime::ZERO + SimDuration::from_days(1),
+            10,
+        );
+        let mut r = RunReport {
+            duration: SimDuration::from_days(1),
+            ended_at: SimTime::ZERO + SimDuration::from_days(1),
+            links: 10,
+            incidents: 2,
+            cascade_incidents: 0,
+            cascade_bursts: 1,
+            cascade_bursts_live: 1,
+            burst_impact_loss_s: 0.5,
+            tickets_by_trigger: [("down", 2u64)].into_iter().collect(),
+            tickets_fixed: 2,
+            tickets_spurious: 0,
+            service_windows: dcmaint_metrics::DurationSamples::new(),
+            attempts_per_fix: vec![1, 2],
+            actions: HashMap::new(),
+            availability: avail,
+            costs: dcmaint_metrics::CostLedger::new(),
+            tech_time: SimDuration::from_hours(3),
+            robot_time: SimDuration::ZERO,
+            robot_ops: 0,
+            human_escalations: 0,
+            campaigns: 0,
+            campaign_links: 0,
+            prediction: PredictionStats::default(),
+            drains_deferred: 0,
+            drain_capacity_impact: 0.0,
+            campaign_drain_impact: 0.0,
+            mean_loss_ewma: 0.0,
+        };
+        let j = r.summary_json();
+        for key in [
+            "duration_days",
+            "incidents",
+            "tickets",
+            "service_window_s",
+            "availability",
+            "costs",
+            "robot",
+            "actions",
+        ] {
+            assert!(j.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(j["incidents"], 2);
+        assert_eq!(j["tickets"]["by_trigger"]["down"], 2);
+        // Every ladder action appears even with zero attempts.
+        assert!(j["actions"]["repl-switch"]["attempts"].is_u64());
+    }
+}

@@ -1,0 +1,141 @@
+//! Feature extraction for predictive maintenance.
+//!
+//! §4: "new opportunities to use machine learning techniques to predict
+//! failures and detect related network behavior patterns, potentially
+//! leveraging data collected by robotic systems". The online predictor in
+//! `maintctl` consumes a fixed-width feature vector per link; this module
+//! defines it in one place so training and scoring cannot skew.
+//!
+//! Features are normalized to roughly `[0, 1]` so a logistic model with
+//! small weights behaves; names are exported for report tables.
+
+use dcmaint_dcnet::Topology;
+use dcmaint_dcnet::LinkId;
+use dcmaint_des::SimTime;
+
+use crate::counters::LinkCounters;
+
+/// Number of features per link.
+pub const FEATURE_DIM: usize = 7;
+
+/// Feature names, index-aligned with [`extract`].
+pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+    "loss_ewma",
+    "recent_flaps",
+    "errored_frac",
+    "incidents_lifetime",
+    "days_since_maint",
+    "is_separable_optic",
+    "mpo_core_count",
+];
+
+/// Extract the feature vector for one link at time `now`.
+pub fn extract(
+    topo: &Topology,
+    link: LinkId,
+    counters: &mut LinkCounters,
+    now: SimTime,
+) -> [f64; FEATURE_DIM] {
+    let medium = topo.link(link).cable.medium;
+    [
+        // Smoothed loss, saturating at 5% → 1.0.
+        (counters.loss_ewma() / 0.05).min(1.0),
+        // Flap edges in the retention window, saturating at 10.
+        (counters.recent_transitions(now) as f64 / 10.0).min(1.0),
+        counters.errored_fraction(),
+        // Lifetime incidents, saturating at 5 (repeat offenders matter).
+        (counters.incidents_total() as f64 / 5.0).min(1.0),
+        // Staleness of maintenance, saturating at 90 days.
+        (counters.since_maintenance(now).as_days_f64() / 90.0).min(1.0),
+        if medium.is_separable() { 1.0 } else { 0.0 },
+        f64::from(medium.cores()) / 16.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_dcnet::CableMedium;
+    use dcmaint_dcnet::gen::leaf_spine;
+    use dcmaint_dcnet::DiversityProfile;
+    use dcmaint_des::{SimDuration, SimRng};
+
+    fn topo() -> Topology {
+        leaf_spine(2, 2, 2, 1, DiversityProfile::standardized(), &SimRng::root(1))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn dimensions_line_up() {
+        assert_eq!(FEATURE_NAMES.len(), FEATURE_DIM);
+        let topo = topo();
+        let mut c = LinkCounters::new(SimDuration::from_mins(30));
+        let f = extract(&topo, LinkId(0), &mut c, t(0));
+        assert_eq!(f.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn features_bounded() {
+        let topo = topo();
+        let mut c = LinkCounters::new(SimDuration::from_mins(30));
+        for i in 0..50 {
+            c.record_sample(t(i), 0.5);
+            c.record_transition(t(i));
+            c.record_incident();
+        }
+        let f = extract(&topo, LinkId(0), &mut c, t(365 * 24 * 3600));
+        for (i, &x) in f.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&x),
+                "feature {} = {x} out of range",
+                FEATURE_NAMES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_link_scores_higher_features() {
+        let topo = topo();
+        let mut clean = LinkCounters::new(SimDuration::from_mins(30));
+        let mut noisy = LinkCounters::new(SimDuration::from_mins(30));
+        for i in 0..20 {
+            clean.record_sample(t(i), 0.0);
+            noisy.record_sample(t(i), 0.02);
+            if i % 3 == 0 {
+                noisy.record_transition(t(i));
+            }
+        }
+        noisy.record_incident();
+        let fc = extract(&topo, LinkId(0), &mut clean, t(20));
+        let fn_ = extract(&topo, LinkId(0), &mut noisy, t(20));
+        assert!(fn_[0] > fc[0]);
+        assert!(fn_[1] > fc[1]);
+        assert!(fn_[3] > fc[3]);
+    }
+
+    #[test]
+    fn medium_features_distinguish_links() {
+        let topo = topo();
+        // Find a DAC (server) link and an MPO/optical (uplink) link.
+        let dac = topo
+            .link_ids()
+            .find(|&l| topo.link(l).cable.medium == CableMedium::Dac);
+        let sep = topo
+            .link_ids()
+            .find(|&l| topo.link(l).cable.medium.is_separable());
+        let mut c = LinkCounters::new(SimDuration::from_mins(30));
+        if let Some(l) = dac {
+            let f = extract(&topo, l, &mut c, t(0));
+            assert_eq!(f[5], 0.0);
+            assert_eq!(f[6], 0.0);
+        }
+        if let Some(l) = sep {
+            let f = extract(&topo, l, &mut c, t(0));
+            assert_eq!(f[5], 1.0);
+            assert!(f[6] > 0.0);
+        }
+    }
+}

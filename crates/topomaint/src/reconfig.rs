@@ -1,0 +1,322 @@
+//! Robotic topology reconfiguration — the §4 extension.
+//!
+//! "The robotics that enables a self-maintaining network will also be
+//! able to deploy arbitrary topologies potentially. Is this useful?"
+//! One concrete, near-term use the paper's framing suggests: when a
+//! switch dies, its attached nodes are stranded until a human replaces
+//! the chassis (hours). A robotic patch panel can instead *re-patch*
+//! those cables to spare ports on healthy switches within minutes,
+//! restoring connectivity while the slow hardware swap proceeds in the
+//! background.
+//!
+//! [`plan_rewire`] computes that plan against a failed switch —
+//! which nodes are stranded, which healthy switches have spare ports,
+//! how many cable moves the robot needs — and [`apply_rewire`] rebuilds
+//! the topology with the patches in place so connectivity can be
+//! verified with the ordinary routing machinery.
+
+use dcmaint_dcnet::routing::distances_from;
+use dcmaint_dcnet::topology::{NodeKind, Tier};
+use dcmaint_dcnet::{
+    FormFactor, NetState, NodeId, Topology, TopologyBuilder,
+};
+use dcmaint_des::{SimDuration, SimRng};
+
+/// One cable move: re-patch `node`'s link (formerly to the failed
+/// switch) onto `new_switch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    /// The stranded node being rescued.
+    pub node: NodeId,
+    /// The healthy switch receiving the cable.
+    pub new_switch: NodeId,
+}
+
+/// A computed rewiring plan.
+#[derive(Debug, Clone)]
+pub struct RewirePlan {
+    /// The failed switch being bypassed.
+    pub failed: NodeId,
+    /// Nodes disconnected by the failure (no path to the rest of the
+    /// fabric).
+    pub stranded: Vec<NodeId>,
+    /// The cable moves.
+    pub patches: Vec<Patch>,
+    /// Stranded nodes the plan could not rescue (no spare ports in
+    /// range).
+    pub unrescued: usize,
+    /// Robot time to execute: cable moves are serialized on the row
+    /// robot at ~20 minutes each (unplug, re-route along the tray,
+    /// clean, plug, verify).
+    pub robot_time: SimDuration,
+}
+
+/// Per-cable-move robot time: re-route + clean + verify.
+const MINUTES_PER_MOVE: u64 = 20;
+
+/// Compute which nodes a switch failure strands: nodes with no path to
+/// any other switch once `failed`'s links are down.
+pub fn stranded_by(topo: &Topology, failed: NodeId) -> Vec<NodeId> {
+    let mut state = NetState::new(topo);
+    for l in topo.links_of(failed) {
+        state.set_health(l, dcmaint_dcnet::LinkHealth::Down, 1.0);
+    }
+    // Reachability from an arbitrary healthy switch.
+    let Some(&root) = topo
+        .switches()
+        .iter()
+        .find(|&&s| s != failed)
+    else {
+        return Vec::new();
+    };
+    let dist = distances_from(topo, &state, root);
+    topo.node_ids()
+        .filter(|&n| n != failed && dist[n.index()] == u32::MAX)
+        .collect()
+}
+
+/// Spare (uncabled) ports on a switch.
+pub fn spare_ports(topo: &Topology, switch: NodeId) -> usize {
+    match &topo.node(switch).kind {
+        NodeKind::Switch { spec, .. } => {
+            (spec.radix as usize).saturating_sub(topo.node_ports(switch).len())
+        }
+        NodeKind::Server => 0,
+    }
+}
+
+/// Plan the rewire: assign each stranded node to the nearest healthy
+/// switch (by aisle walking distance) with spare port capacity.
+pub fn plan_rewire(topo: &Topology, failed: NodeId) -> RewirePlan {
+    let stranded = stranded_by(topo, failed);
+    let layout = &topo.layout;
+    let mut capacity: Vec<(NodeId, usize)> = topo
+        .switches()
+        .into_iter()
+        .filter(|&s| s != failed)
+        .map(|s| (s, spare_ports(topo, s)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    let mut patches = Vec::new();
+    let mut unrescued = 0;
+    for &node in &stranded {
+        let from = layout.rack_loc(topo.node(node).rack);
+        let best = capacity
+            .iter_mut()
+            .filter(|(_, c)| *c > 0)
+            .min_by(|(a, _), (b, _)| {
+                let da = layout.walk_distance_m(from, layout.rack_loc(topo.node(*a).rack));
+                let db = layout.walk_distance_m(from, layout.rack_loc(topo.node(*b).rack));
+                da.partial_cmp(&db).expect("finite distances")
+            });
+        match best {
+            Some((sw, c)) => {
+                patches.push(Patch {
+                    node,
+                    new_switch: *sw,
+                });
+                *c -= 1;
+            }
+            None => unrescued += 1,
+        }
+    }
+    let robot_time = SimDuration::from_mins(MINUTES_PER_MOVE) * patches.len() as u64;
+    RewirePlan {
+        failed,
+        stranded,
+        patches,
+        unrescued,
+        robot_time,
+    }
+}
+
+/// Rebuild the topology with the failed switch's links removed and the
+/// plan's patches added, so standard routing can verify the outcome.
+/// The failed switch remains as a node with no cabled ports.
+pub fn apply_rewire(topo: &Topology, plan: &RewirePlan, rng: &SimRng) -> Topology {
+    let mut b = TopologyBuilder::new(
+        &format!("{}-rewired", topo.name()),
+        topo.layout.clone(),
+        topo.diversity,
+        rng,
+    );
+    // Re-add nodes in the original order so NodeIds are stable.
+    for n in topo.node_ids() {
+        let node = topo.node(n);
+        let rack = topo.layout.rack_loc(node.rack);
+        let id = match &node.kind {
+            NodeKind::Switch { spec, tier } => b.add_switch(&node.name, spec.clone(), *tier, rack),
+            NodeKind::Server => b.add_server(&node.name, rack),
+        };
+        debug_assert_eq!(id, n, "node ids must be stable across rebuild");
+    }
+    for l in topo.link_ids() {
+        let (a, bb) = topo.endpoints(l);
+        if a == plan.failed || bb == plan.failed {
+            continue;
+        }
+        b.connect(a, bb, FormFactor::from_gbps(topo.link(l).gbps));
+    }
+    for p in &plan.patches {
+        let form = match topo.node(p.node).kind {
+            NodeKind::Server => FormFactor::Qsfp28,
+            NodeKind::Switch { .. } => FormFactor::QsfpDd,
+        };
+        b.connect(p.node, p.new_switch, form);
+    }
+    b.build()
+}
+
+/// Convenience summary used by experiment E12: strand count, rescue
+/// fraction, and the robot-vs-human downtime comparison for one failed
+/// switch.
+#[derive(Debug, Clone)]
+pub struct RewireOutcome {
+    /// Nodes stranded by the failure.
+    pub stranded: usize,
+    /// Fraction of stranded nodes reconnected after the rewire
+    /// (verified by routing on the rebuilt topology).
+    pub restored_frac: f64,
+    /// Robot rewire completion time.
+    pub rewire_time: SimDuration,
+}
+
+/// Evaluate a failure + rewire of `failed`, verifying restoration by
+/// routing on the rebuilt topology.
+pub fn evaluate_rewire(topo: &Topology, failed: NodeId, rng: &SimRng) -> RewireOutcome {
+    let plan = plan_rewire(topo, failed);
+    if plan.stranded.is_empty() {
+        return RewireOutcome {
+            stranded: 0,
+            restored_frac: 1.0,
+            rewire_time: SimDuration::ZERO,
+        };
+    }
+    let rebuilt = apply_rewire(topo, &plan, rng);
+    let state = NetState::new(&rebuilt);
+    let root = rebuilt
+        .switches()
+        .into_iter()
+        .find(|&s| s != failed)
+        .expect("another switch exists");
+    let dist = distances_from(&rebuilt, &state, root);
+    let restored = plan
+        .stranded
+        .iter()
+        .filter(|n| dist[n.index()] != u32::MAX)
+        .count();
+    RewireOutcome {
+        stranded: plan.stranded.len(),
+        restored_frac: restored as f64 / plan.stranded.len() as f64,
+        rewire_time: plan.robot_time,
+    }
+}
+
+/// Which switches are worth testing in E12: ToR/leaf switches (their
+/// failure strands servers; spine failures are absorbed by ECMP).
+pub fn tor_switches(topo: &Topology) -> Vec<NodeId> {
+    topo.switches()
+        .into_iter()
+        .filter(|&s| topo.node(s).tier() == Some(Tier::Tor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_dcnet::gen::{jellyfish, leaf_spine};
+    use dcmaint_dcnet::DiversityProfile;
+
+    fn rng() -> SimRng {
+        SimRng::root(12)
+    }
+
+    fn ls() -> Topology {
+        leaf_spine(2, 4, 4, 1, DiversityProfile::cloud_typical(), &rng())
+    }
+
+    #[test]
+    fn leaf_failure_strands_its_servers() {
+        let t = ls();
+        let leaf = tor_switches(&t)[0];
+        let stranded = stranded_by(&t, leaf);
+        // Exactly the leaf's 4 servers (spines stay connected).
+        assert_eq!(stranded.len(), 4);
+        for n in &stranded {
+            assert!(!t.node(*n).is_switch());
+        }
+    }
+
+    #[test]
+    fn spine_failure_strands_nobody() {
+        let t = ls();
+        let spine = t
+            .node_ids()
+            .find(|&n| t.node(n).name == "spine-0")
+            .unwrap();
+        assert!(stranded_by(&t, spine).is_empty(), "ECMP absorbs it");
+    }
+
+    #[test]
+    fn plan_rescues_all_with_spare_ports() {
+        let t = ls();
+        let leaf = tor_switches(&t)[0];
+        let plan = plan_rewire(&t, leaf);
+        assert_eq!(plan.stranded.len(), 4);
+        assert_eq!(plan.patches.len(), 4);
+        assert_eq!(plan.unrescued, 0);
+        assert_eq!(plan.robot_time, SimDuration::from_mins(80));
+        for p in &plan.patches {
+            assert_ne!(p.new_switch, leaf);
+            assert!(t.node(p.new_switch).is_switch());
+        }
+    }
+
+    #[test]
+    fn rewired_topology_restores_connectivity() {
+        let t = ls();
+        let leaf = tor_switches(&t)[0];
+        let out = evaluate_rewire(&t, leaf, &rng());
+        assert_eq!(out.stranded, 4);
+        assert_eq!(out.restored_frac, 1.0, "all servers reconnected");
+        assert!(out.rewire_time < SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn rebuild_preserves_node_ids_and_surviving_links() {
+        let t = ls();
+        let leaf = tor_switches(&t)[0];
+        let plan = plan_rewire(&t, leaf);
+        let rebuilt = apply_rewire(&t, &plan, &rng());
+        assert_eq!(rebuilt.node_count(), t.node_count());
+        // Failed switch keeps no cabled ports; patched servers have one.
+        assert!(rebuilt.links_of(leaf).is_empty());
+        for p in &plan.patches {
+            assert!(!rebuilt.links_of(p.node).is_empty());
+        }
+        // Link count: original minus failed's links plus patches.
+        assert_eq!(
+            rebuilt.link_count(),
+            t.link_count() - t.links_of(leaf).len() + plan.patches.len()
+        );
+    }
+
+    #[test]
+    fn jellyfish_tor_failure_mostly_rescuable() {
+        let t = jellyfish(12, 4, 3, DiversityProfile::cloud_typical(), &rng());
+        let tor = tor_switches(&t)[0];
+        let out = evaluate_rewire(&t, tor, &rng());
+        assert_eq!(out.stranded, 3, "its 3 servers strand");
+        assert!(out.restored_frac > 0.99);
+    }
+
+    #[test]
+    fn spare_port_accounting() {
+        let t = ls();
+        let leaf = tor_switches(&t)[0];
+        // tor32 with 2 uplinks + 4 servers cabled → 26 spare.
+        assert_eq!(spare_ports(&t, leaf), 32 - 6);
+        let server = t.servers()[0];
+        assert_eq!(spare_ports(&t, server), 0);
+    }
+}

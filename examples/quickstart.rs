@@ -1,0 +1,57 @@
+//! Quickstart: build a datacenter fabric, let it fail, and watch the
+//! self-maintaining control plane repair it — comparing the paper's L0
+//! (all-human) world against L3 (autonomous robots).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use selfmaint::metrics::{fnum, nines, Align, Table};
+use selfmaint::prelude::*;
+
+fn main() {
+    println!("selfmaint quickstart: 30 simulated days, 192-link leaf-spine fabric\n");
+
+    let mut table = Table::new(
+        "automation levels, same fabric, same faults, same seed",
+        &[
+            ("level", Align::Left),
+            ("median repair", Align::Right),
+            ("p95 repair", Align::Right),
+            ("availability", Align::Right),
+            ("nines", Align::Right),
+            ("tech hours", Align::Right),
+            ("robot ops", Align::Right),
+            ("cost $", Align::Right),
+        ],
+    );
+
+    for level in AutomationLevel::ALL {
+        let cfg = ScenarioConfig::at_level(2024, level);
+        let mut report = selfmaint::scenarios::run(cfg);
+        table.row(vec![
+            format!("{} ({})", level.label(), level.name()),
+            report.median_service_window().to_string(),
+            report.p95_service_window().to_string(),
+            fnum(report.availability.availability, 5),
+            fnum(nines(report.availability.availability), 2),
+            fnum(report.tech_time.as_hours_f64(), 0),
+            report.robot_ops.to_string(),
+            fnum(report.costs.total(), 0),
+        ]);
+        println!(
+            "  {} done: {} incidents, {} tickets ({} spurious), {} cascade bursts",
+            level.label(),
+            report.incidents,
+            report.tickets_total(),
+            report.tickets_spurious,
+            report.cascade_bursts,
+        );
+    }
+
+    println!();
+    println!("{}", table.render());
+    println!(
+        "The paper's claim C3 in one table: repairs move from the\n\
+         hours-to-days regime (L0/L1) to minutes (L3/L4), availability\n\
+         gains most of a nine, and technician labor collapses."
+    );
+}

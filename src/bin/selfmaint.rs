@@ -1,0 +1,242 @@
+//! `selfmaint` — command-line front end for the simulator.
+//!
+//! ```text
+//! selfmaint run   [--level L3] [--days 30] [--seed 42] [--topology leaf-spine|fat-tree|jellyfish|xpander]
+//!                 [--robots-per-row 1] [--vendors 12] [--no-proactive] [--no-predictive] [--csv] [--json]
+//! selfmaint advise --mtbf-days 60 --mttr-mins 10 --need 8 --target 0.9999
+//! selfmaint topo   [--seed 42]          # self-maintainability report
+//! selfmaint levels                      # print the automation taxonomy
+//! ```
+//!
+//! Arguments are parsed by hand — the CLI surface is small and the
+//! project adds no dependency for it.
+
+use selfmaint::control::{advise, ControllerConfig};
+use selfmaint::metrics::{fnum, nines, Align, Table};
+use selfmaint::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("advise") => cmd_advise(&args[1..]),
+        Some("topo") => cmd_topo(&args[1..]),
+        Some("levels") => cmd_levels(),
+        _ => {
+            eprintln!(
+                "usage: selfmaint <run|advise|topo|levels> [options]\n\
+                 try: selfmaint run --level L3 --days 30"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_level(s: &str) -> AutomationLevel {
+    match s.to_ascii_uppercase().as_str() {
+        "L0" | "0" => AutomationLevel::L0,
+        "L1" | "1" => AutomationLevel::L1,
+        "L2" | "2" => AutomationLevel::L2,
+        "L3" | "3" => AutomationLevel::L3,
+        "L4" | "4" => AutomationLevel::L4,
+        other => {
+            eprintln!("unknown level {other:?} (use L0..L4)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let level = parse_level(opt(args, "--level").unwrap_or("L3"));
+    let days: u64 = opt(args, "--days").unwrap_or("30").parse().unwrap_or(30);
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let mut cfg = ScenarioConfig::at_level(seed, level);
+    cfg.duration = SimDuration::from_days(days);
+    if let Some(t) = opt(args, "--topology") {
+        cfg.topology = match t {
+            "leaf-spine" => TopologySpec::LeafSpine {
+                spines: 4,
+                leaves: 16,
+                servers_per_leaf: 8,
+            },
+            "fat-tree" => TopologySpec::FatTree { k: 4 },
+            "jellyfish" => TopologySpec::Jellyfish {
+                switches: 20,
+                degree: 8,
+                servers_per_switch: 4,
+            },
+            "xpander" => TopologySpec::Xpander {
+                d: 7,
+                lift: 3,
+                servers_per_switch: 4,
+            },
+            other => {
+                eprintln!("unknown topology {other:?}");
+                std::process::exit(2);
+            }
+        };
+    }
+    if let Some(n) = opt(args, "--robots-per-row") {
+        cfg.robots_per_row = n.parse().unwrap_or(cfg.robots_per_row);
+    }
+    if let Some(v) = opt(args, "--vendors") {
+        cfg.diversity = DiversityProfile {
+            vendor_count: v.parse().unwrap_or(12),
+        };
+    }
+    if flag(args, "--no-proactive") || flag(args, "--no-predictive") {
+        let mut ctl = ControllerConfig::at_level(level);
+        if flag(args, "--no-proactive") {
+            ctl.proactive = None;
+        }
+        if flag(args, "--no-predictive") {
+            ctl.predictive = None;
+        }
+        cfg.controller = Some(ctl);
+    }
+
+    eprintln!("running {days} simulated days at {} (seed {seed})…", level.label());
+    let mut report = selfmaint::scenarios::run(cfg);
+    if flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.summary_json()).expect("serializable")
+        );
+        return;
+    }
+
+    let mut t = Table::new(
+        &format!("{} — {} days", level.name(), days),
+        &[("metric", Align::Left), ("value", Align::Right)],
+    );
+    t.row(vec!["links".into(), report.links.to_string()]);
+    t.row(vec!["incidents".into(), report.incidents.to_string()]);
+    t.row(vec![
+        "cascade incidents".into(),
+        report.cascade_incidents.to_string(),
+    ]);
+    t.row(vec!["tickets".into(), report.tickets_total().to_string()]);
+    t.row(vec![
+        "tickets fixed / spurious".into(),
+        format!("{} / {}", report.tickets_fixed, report.tickets_spurious),
+    ]);
+    t.row(vec![
+        "median service window".into(),
+        report.median_service_window().to_string(),
+    ]);
+    t.row(vec![
+        "p95 service window".into(),
+        report.p95_service_window().to_string(),
+    ]);
+    t.row(vec![
+        "mean attempts / fix".into(),
+        fnum(report.mean_attempts(), 2),
+    ]);
+    t.row(vec![
+        "availability".into(),
+        format!(
+            "{} ({} nines)",
+            fnum(report.availability.availability, 5),
+            fnum(nines(report.availability.availability), 2)
+        ),
+    ]);
+    t.row(vec![
+        "tech time".into(),
+        report.tech_time.to_string(),
+    ]);
+    t.row(vec![
+        "robot ops / escalations".into(),
+        format!("{} / {}", report.robot_ops, report.human_escalations),
+    ]);
+    t.row(vec![
+        "campaigns / links serviced".into(),
+        format!("{} / {}", report.campaigns, report.campaign_links),
+    ]);
+    t.row(vec!["total cost $".into(), fnum(report.costs.total(), 0)]);
+    if flag(args, "--csv") {
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", t.render());
+    }
+}
+
+fn cmd_advise(args: &[String]) {
+    let mtbf_days: u64 = opt(args, "--mtbf-days").unwrap_or("60").parse().unwrap_or(60);
+    let mttr_mins: u64 = opt(args, "--mttr-mins").unwrap_or("10").parse().unwrap_or(10);
+    let need: usize = opt(args, "--need").unwrap_or("8").parse().unwrap_or(8);
+    let target: f64 = opt(args, "--target")
+        .unwrap_or("0.9999")
+        .parse()
+        .unwrap_or(0.9999);
+    let adv = advise(
+        SimDuration::from_days(mtbf_days),
+        SimDuration::from_mins(mttr_mins),
+        need,
+        target,
+    );
+    println!(
+        "need {} working, MTBF {mtbf_days} d, MTTR {mttr_mins} min, target {target}:\n\
+         provision n = {} ({} spares), achieved availability {:.7}\n\
+         (per-member availability {:.7})",
+        adv.k, adv.n, adv.spares, adv.achieved, adv.member_availability
+    );
+}
+
+fn cmd_topo(args: &[String]) {
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let rng = SimRng::root(seed);
+    let mut t = Table::new(
+        "self-maintainability",
+        &[
+            ("topology", Align::Left),
+            ("links", Align::Right),
+            ("bundle", Align::Right),
+            ("SKUs", Align::Right),
+            ("blast", Align::Right),
+            ("drainable", Align::Right),
+            ("M-index", Align::Right),
+        ],
+    );
+    for topo in [
+        selfmaint::net::gen::leaf_spine(4, 16, 2, 1, DiversityProfile::cloud_typical(), &rng),
+        selfmaint::net::gen::fat_tree(4, DiversityProfile::cloud_typical(), &rng),
+        selfmaint::net::gen::jellyfish(20, 8, 2, DiversityProfile::cloud_typical(), &rng),
+        selfmaint::net::gen::xpander(7, 3, 2, DiversityProfile::cloud_typical(), &rng),
+    ] {
+        let r = selfmaint::topomaint::analyze(&topo, 40, &rng);
+        t.row(vec![
+            r.topology.clone(),
+            r.links.to_string(),
+            fnum(r.mean_bundle_size, 2),
+            r.cable_skus.to_string(),
+            fnum(r.mean_blast_radius, 1),
+            fnum(r.drainable_frac, 2),
+            fnum(r.index, 1),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn cmd_levels() {
+    for l in AutomationLevel::ALL {
+        println!(
+            "{}  {:<20}  proactive: {:<3}  supervisor: {:<3}  humans in halls: {}",
+            l.label(),
+            l.name(),
+            if l.proactive_allowed() { "yes" } else { "no" },
+            if l.needs_supervisor() { "yes" } else { "no" },
+            if l.escalation_enters_hall() { "yes" } else { "no" },
+        );
+    }
+}

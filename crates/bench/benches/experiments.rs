@@ -118,9 +118,15 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     let p = exp::ablations::AblationParams::quick(20);
-    g.bench_function("a1_codesign", |b| b.iter(|| exp::ablations::run_a1(black_box(&p))));
-    g.bench_function("a2_ladder", |b| b.iter(|| exp::ablations::run_a2(black_box(&p))));
-    g.bench_function("a3_diversity", |b| b.iter(|| exp::ablations::run_a3(black_box(&p))));
+    g.bench_function("a1_codesign", |b| {
+        b.iter(|| exp::ablations::run_a1(black_box(&p)))
+    });
+    g.bench_function("a2_ladder", |b| {
+        b.iter(|| exp::ablations::run_a2(black_box(&p)))
+    });
+    g.bench_function("a3_diversity", |b| {
+        b.iter(|| exp::ablations::run_a3(black_box(&p)))
+    });
     g.finish();
 }
 

@@ -36,7 +36,15 @@ fn bench_topology_gen(c: &mut Criterion) {
         b.iter(|| gen::fat_tree(8, DiversityProfile::cloud_typical(), black_box(&rng)))
     });
     g.bench_function("jellyfish_64x10", |b| {
-        b.iter(|| gen::jellyfish(64, 10, 4, DiversityProfile::cloud_typical(), black_box(&rng)))
+        b.iter(|| {
+            gen::jellyfish(
+                64,
+                10,
+                4,
+                DiversityProfile::cloud_typical(),
+                black_box(&rng),
+            )
+        })
     });
     g.finish();
 }

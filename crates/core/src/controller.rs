@@ -92,12 +92,8 @@ impl ControllerConfig {
             level,
             escalation: EscalationConfig::default(),
             drain: DrainConfig::default(),
-            proactive: level
-                .proactive_allowed()
-                .then(ProactiveConfig::default),
-            predictive: level
-                .proactive_allowed()
-                .then(PredictiveConfig::default),
+            proactive: level.proactive_allowed().then(ProactiveConfig::default),
+            predictive: level.proactive_allowed().then(PredictiveConfig::default),
             verify_soak: SimDuration::from_mins(5),
             trough_scheduling: false,
             trough_gate: 0.35,
@@ -236,13 +232,17 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn setup() -> (Topology, NetState, Vec<(NodeId, NodeId)>) {
-        let t = leaf_spine(2, 3, 2, 1, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            3,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         let s = NetState::new(&t);
         let servers = t.servers();
-        let pairs: Vec<_> = servers
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let pairs: Vec<_> = servers.windows(2).map(|w| (w[0], w[1])).collect();
         (t, s, pairs)
     }
 

@@ -147,7 +147,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn setup() -> (Topology, NetState, Vec<(NodeId, NodeId)>) {
-        let t = leaf_spine(2, 3, 2, 1, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            3,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         let s = NetState::new(&t);
         let servers = t.servers();
         let pairs: Vec<_> = (0..servers.len())
@@ -302,17 +309,11 @@ mod tests {
         // With spine-0 dead, the remaining spine's uplinks become
         // critical: draining one must now defer.
         let (t, mut s, pairs) = setup();
-        let spine0 = t
-            .node_ids()
-            .find(|&n| t.node(n).name == "spine-0")
-            .unwrap();
+        let spine0 = t.node_ids().find(|&n| t.node(n).name == "spine-0").unwrap();
         for l in t.links_of(spine0) {
             s.set_health(l, LinkHealth::Down, 1.0);
         }
-        let spine1 = t
-            .node_ids()
-            .find(|&n| t.node(n).name == "spine-1")
-            .unwrap();
+        let spine1 = t.node_ids().find(|&n| t.node(n).name == "spine-1").unwrap();
         let critical = t.links_of(spine1)[0];
         let d = plan(
             &DrainConfig::default(),

@@ -90,7 +90,14 @@ impl EscalationEngine {
                 return rung;
             }
         }
-        *ladder.last().expect("ladder is never empty")
+        // Every medium's ladder ends in a switch-hardware swap (the
+        // only rung with no applicability filter); fall back to it
+        // rather than panicking the controller if a future filter ever
+        // empties the ladder.
+        ladder
+            .last()
+            .copied()
+            .unwrap_or(RepairAction::ReplaceSwitchHardware)
     }
 }
 

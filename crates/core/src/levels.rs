@@ -170,7 +170,11 @@ mod tests {
 
     #[test]
     fn switch_replacement_humanizes_until_l4() {
-        for l in [AutomationLevel::L0, AutomationLevel::L2, AutomationLevel::L3] {
+        for l in [
+            AutomationLevel::L0,
+            AutomationLevel::L2,
+            AutomationLevel::L3,
+        ] {
             assert_eq!(
                 l.executor_for(RepairAction::ReplaceSwitchHardware),
                 Executor::Human,

@@ -43,6 +43,7 @@ pub mod levels;
 pub mod predict;
 pub mod proactive;
 pub mod provision;
+pub mod recovery;
 pub mod safety;
 pub mod verify;
 
@@ -53,5 +54,6 @@ pub use levels::{AutomationLevel, Executor};
 pub use predict::{PredictionStats, Predictor};
 pub use proactive::{Campaign, ProactiveConfig, ProactivePlanner};
 pub use provision::{advise, k_of_n_availability, member_availability, ProvisioningAdvice};
-pub use safety::{SafetyConfig, ZoneActor, ZoneLedger};
+pub use recovery::{Backoff, RecoveryPolicy, RecoveryState, RecoveryStep, WatchdogConfig};
+pub use safety::{ClaimId, SafetyConfig, ZoneActor, ZoneLedger};
 pub use verify::{assess_window, WindowRisk};

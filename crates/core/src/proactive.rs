@@ -145,7 +145,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn topo() -> Topology {
-        leaf_spine(2, 2, 2, 1, DiversityProfile::standardized(), &SimRng::root(1))
+        leaf_spine(
+            2,
+            2,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        )
     }
 
     fn at(hours: u64) -> SimTime {

@@ -86,12 +86,7 @@ pub struct ProvisioningAdvice {
 /// Minimum `n ≥ k` such that k-of-n availability meets `target`, given
 /// member MTBF/MTTR. Caps the search at `k + 64` (beyond that the
 /// request is infeasible for any sane fleet and the cap is returned).
-pub fn advise(
-    mtbf: SimDuration,
-    mttr: SimDuration,
-    k: usize,
-    target: f64,
-) -> ProvisioningAdvice {
+pub fn advise(mtbf: SimDuration, mttr: SimDuration, k: usize, target: f64) -> ProvisioningAdvice {
     let a = member_availability(mtbf, mttr);
     let mut n = k.max(1);
     let cap = k + 64;

@@ -1,0 +1,301 @@
+//! Controller-side recovery for maintenance-plane faults: watchdogs,
+//! bounded retry backoff, and the degradation ladder down to humans.
+//!
+//! The paper's §3.3.1 ("retry and ultimately escalate to a human") and
+//! §3.4 (who maintains the maintainer?) imply the control plane cannot
+//! trust its own executors: operations stall without announcing it,
+//! dispatch messages get lost, robots abort mid-extraction. This module
+//! supplies the three mechanisms the engine composes:
+//!
+//! * [`WatchdogConfig`] — a per-operation deadline derived from the
+//!   *planned* phase durations (total plus margin × the p99 phase), so
+//!   a stalled or silently-lost operation is detected without any
+//!   cooperation from the robot;
+//! * [`Backoff`] — bounded exponential retry delay with deterministic
+//!   jitter (same seed → same schedule);
+//! * [`RecoveryPolicy`] — the ladder: retry the same robot → reassign
+//!   to another unit → fall back to a human ticket → queue until the
+//!   fleet recovers. The engine must uphold the companion invariant
+//!   that an aborted operation always releases its drain and its
+//!   safety-zone claim (tested end-to-end in `tests/properties.rs`).
+
+use dcmaint_des::{SimDuration, Stream};
+
+/// Watchdog deadline policy.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Slack multiplier applied to the p99 planned phase duration. The
+    /// operation is declared stuck once it overruns its planned total
+    /// by `margin × p99(phase durations)`.
+    pub margin: f64,
+    /// Floor on the slack, so short plans are not declared dead by
+    /// scheduling noise.
+    pub min_slack: SimDuration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            margin: 3.0,
+            min_slack: SimDuration::from_mins(2),
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// The p99 of a set of planned phase durations (nearest-rank).
+    pub fn p99_phase(phases: &[SimDuration]) -> SimDuration {
+        if phases.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = phases.to_vec();
+        sorted.sort();
+        let rank = ((sorted.len() as f64) * 0.99).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Deadline (measured from operation start) after which the
+    /// watchdog fires: planned total + max(margin × p99 phase,
+    /// min_slack).
+    pub fn deadline(&self, phases: &[SimDuration]) -> SimDuration {
+        let total = phases.iter().fold(SimDuration::ZERO, |acc, &d| acc + d);
+        let slack = Self::p99_phase(phases)
+            .mul_f64(self.margin)
+            .max(self.min_slack);
+        total + slack
+    }
+}
+
+/// Bounded exponential backoff with jitter for retries.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First-retry delay.
+    pub base: SimDuration,
+    /// Multiplier per attempt.
+    pub factor: f64,
+    /// Ceiling on the un-jittered delay.
+    pub cap: SimDuration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: SimDuration::from_secs(30),
+            factor: 2.0,
+            cap: SimDuration::from_mins(30),
+        }
+    }
+}
+
+impl Backoff {
+    /// Delay before retry number `attempt` (0-based), jittered to
+    /// 50–150% of nominal with a draw from `rng` — deterministic for a
+    /// given stream state.
+    pub fn delay(&self, attempt: u32, rng: &mut Stream) -> SimDuration {
+        let nominal = self
+            .base
+            .mul_f64(self.factor.powi(attempt.min(20) as i32))
+            .min(self.cap);
+        nominal.mul_f64(0.5 + rng.uniform())
+    }
+}
+
+/// One rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Re-dispatch the same unit after backoff.
+    RetrySameRobot,
+    /// Book a different unit.
+    ReassignOtherUnit,
+    /// Open a human ticket (graceful degradation to L0 behavior).
+    HumanTicket,
+    /// Nothing can run now; park the ticket until a robot is repaired.
+    QueueUntilFleetRecovers,
+}
+
+impl RecoveryStep {
+    /// Short label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStep::RetrySameRobot => "retry-same",
+            RecoveryStep::ReassignOtherUnit => "reassign",
+            RecoveryStep::HumanTicket => "human-ticket",
+            RecoveryStep::QueueUntilFleetRecovers => "queue",
+        }
+    }
+}
+
+/// Where one operation stands on the ladder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryState {
+    /// Retries already burned on the unit that failed.
+    pub same_robot_retries: u32,
+    /// Reassignments to a different unit already made.
+    pub reassigns: u32,
+}
+
+/// The recovery policy: watchdog + backoff + ladder limits.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Master switch (the E14 ablation flag). Disabled: no watchdogs
+    /// are armed and failed operations are simply abandoned.
+    pub enabled: bool,
+    /// Watchdog deadline policy.
+    pub watchdog: WatchdogConfig,
+    /// Retry backoff.
+    pub backoff: Backoff,
+    /// Retries on the same unit before reassigning.
+    pub max_same_robot_retries: u32,
+    /// Reassignments before falling back to a human.
+    pub max_reassigns: u32,
+    /// Whether a human fallback exists (false models an unstaffed
+    /// facility, where the ladder parks work until the fleet heals).
+    pub humans_available: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            watchdog: WatchdogConfig::default(),
+            backoff: Backoff::default(),
+            max_same_robot_retries: 1,
+            max_reassigns: 1,
+            humans_available: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Decide the next rung after a failed robot attempt.
+    ///
+    /// * `state` — retries/reassigns burned so far on this ticket;
+    /// * `failed_unit_usable` — the failing unit is not Down (a stall
+    ///   or hard breakdown skips the retry-same rung);
+    /// * `other_unit_available` — some other unit can reach the rack
+    ///   and is not Down.
+    pub fn next_step(
+        &self,
+        state: RecoveryState,
+        failed_unit_usable: bool,
+        other_unit_available: bool,
+    ) -> RecoveryStep {
+        if failed_unit_usable && state.same_robot_retries < self.max_same_robot_retries {
+            return RecoveryStep::RetrySameRobot;
+        }
+        if other_unit_available && state.reassigns < self.max_reassigns {
+            return RecoveryStep::ReassignOtherUnit;
+        }
+        if self.humans_available {
+            return RecoveryStep::HumanTicket;
+        }
+        RecoveryStep::QueueUntilFleetRecovers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    fn rng() -> Stream {
+        SimRng::root(3).stream("recovery", 0)
+    }
+
+    fn secs(v: &[u64]) -> Vec<SimDuration> {
+        v.iter().map(|&s| SimDuration::from_secs(s)).collect()
+    }
+
+    #[test]
+    fn deadline_exceeds_planned_total() {
+        let w = WatchdogConfig::default();
+        let phases = secs(&[30, 10, 8, 6, 10, 6, 45]);
+        let total: u64 = 30 + 10 + 8 + 6 + 10 + 6 + 45;
+        let d = w.deadline(&phases);
+        assert!(d > SimDuration::from_secs(total));
+        // Slack floor: even a trivial plan gets min_slack.
+        let tiny = w.deadline(&secs(&[1]));
+        assert!(tiny >= SimDuration::from_secs(1) + w.min_slack);
+    }
+
+    #[test]
+    fn p99_phase_is_the_slowest_for_small_plans() {
+        let phases = secs(&[5, 120, 30]);
+        assert_eq!(
+            WatchdogConfig::p99_phase(&phases),
+            SimDuration::from_secs(120)
+        );
+        assert_eq!(WatchdogConfig::p99_phase(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b = Backoff::default();
+        let mut r = rng();
+        // Compare nominal midpoints by averaging out jitter.
+        let mean = |attempt: u32, r: &mut Stream| -> f64 {
+            (0..200)
+                .map(|_| b.delay(attempt, r).as_secs_f64())
+                .sum::<f64>()
+                / 200.0
+        };
+        let d0 = mean(0, &mut r);
+        let d2 = mean(2, &mut r);
+        let d12 = mean(12, &mut r);
+        assert!(d2 > 2.0 * d0, "exponential growth: {d0} {d2}");
+        // Attempt 12 nominal would be 30 s * 4096 — capped at 30 min.
+        assert!(d12 <= 30.0 * 60.0 * 1.5 + 1.0, "cap applies: {d12}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_stream() {
+        let b = Backoff::default();
+        let mut a = rng();
+        let mut c = rng();
+        for attempt in 0..8 {
+            assert_eq!(b.delay(attempt, &mut a), b.delay(attempt, &mut c));
+        }
+    }
+
+    #[test]
+    fn ladder_walks_retry_reassign_human_queue() {
+        let p = RecoveryPolicy::default();
+        let fresh = RecoveryState::default();
+        assert_eq!(p.next_step(fresh, true, true), RecoveryStep::RetrySameRobot);
+        let retried = RecoveryState {
+            same_robot_retries: 1,
+            reassigns: 0,
+        };
+        assert_eq!(
+            p.next_step(retried, true, true),
+            RecoveryStep::ReassignOtherUnit
+        );
+        let reassigned = RecoveryState {
+            same_robot_retries: 1,
+            reassigns: 1,
+        };
+        assert_eq!(
+            p.next_step(reassigned, true, true),
+            RecoveryStep::HumanTicket
+        );
+        let unstaffed = RecoveryPolicy {
+            humans_available: false,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(
+            unstaffed.next_step(reassigned, false, false),
+            RecoveryStep::QueueUntilFleetRecovers
+        );
+    }
+
+    #[test]
+    fn dead_unit_skips_the_retry_rung() {
+        let p = RecoveryPolicy::default();
+        let fresh = RecoveryState::default();
+        assert_eq!(
+            p.next_step(fresh, false, true),
+            RecoveryStep::ReassignOtherUnit
+        );
+        assert_eq!(p.next_step(fresh, false, false), RecoveryStep::HumanTicket);
+    }
+}

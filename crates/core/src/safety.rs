@@ -24,9 +24,15 @@ pub enum ZoneActor {
     Robot,
 }
 
+/// Opaque handle to a recorded claim, for early release when the work
+/// holding the zone aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClaimId(u64);
+
 /// One active exclusion claim.
 #[derive(Debug, Clone)]
 struct Claim {
+    id: ClaimId,
     actor: ZoneActor,
     row: u32,
     col_lo: u32,
@@ -54,6 +60,7 @@ impl Default for SafetyConfig {
 pub struct ZoneLedger {
     cfg: SafetyConfig,
     claims: Vec<Claim>,
+    next_id: u64,
 }
 
 impl ZoneLedger {
@@ -62,6 +69,7 @@ impl ZoneLedger {
         ZoneLedger {
             cfg,
             claims: Vec::new(),
+            next_id: 0,
         }
     }
 
@@ -124,15 +132,19 @@ impl ZoneLedger {
     }
 
     /// Record the claim for `[start, start + duration)` at `rack`.
+    /// Returns a handle usable with [`ZoneLedger::release`].
     pub fn claim(
         &mut self,
         actor: ZoneActor,
         rack: RackLoc,
         start: SimTime,
         duration: SimDuration,
-    ) {
+    ) -> ClaimId {
+        let id = ClaimId(self.next_id);
+        self.next_id += 1;
         let (row, col_lo, col_hi) = self.zone_of(rack);
         self.claims.push(Claim {
+            id,
             actor,
             row,
             col_lo,
@@ -140,6 +152,7 @@ impl ZoneLedger {
             from: start,
             until: start + duration,
         });
+        id
     }
 
     /// Convenience: find the earliest clear start and claim it in one
@@ -152,9 +165,51 @@ impl ZoneLedger {
         desired: SimTime,
         duration: SimDuration,
     ) -> SimTime {
+        self.reserve_claim(actor, rack, now, desired, duration).0
+    }
+
+    /// [`ZoneLedger::reserve`], also returning the claim handle so an
+    /// aborting operation can release the zone early.
+    pub fn reserve_claim(
+        &mut self,
+        actor: ZoneActor,
+        rack: RackLoc,
+        now: SimTime,
+        desired: SimTime,
+        duration: SimDuration,
+    ) -> (SimTime, ClaimId) {
         let start = self.earliest_clear(actor, rack, now, desired, duration);
-        self.claim(actor, rack, start, duration);
-        start
+        let id = self.claim(actor, rack, start, duration);
+        (start, id)
+    }
+
+    /// Release a claim early at `now`: a claim already underway is
+    /// truncated to end now; one that has not started yet is removed
+    /// outright. Releasing an unknown/expired id is a no-op (the claim
+    /// aged out of the ledger on its own — exactly the state an abort
+    /// wants).
+    pub fn release(&mut self, id: ClaimId, now: SimTime) {
+        if let Some(c) = self.claims.iter_mut().find(|c| c.id == id) {
+            c.until = c.until.min(now.max(c.from));
+        }
+        self.claims.retain(|c| c.until > c.from);
+    }
+
+    /// True if the claim is still present with time remaining after
+    /// `now` — the leak the abort invariant tests for.
+    pub fn is_held_beyond(&self, id: ClaimId, now: SimTime) -> bool {
+        self.claims.iter().any(|c| c.id == id && c.until > now)
+    }
+
+    /// Handles of every claim still holding zone time after `now`. The
+    /// end-of-run leak audit compares this against the repairs actually
+    /// in flight.
+    pub fn open_claim_ids(&self, now: SimTime) -> Vec<ClaimId> {
+        self.claims
+            .iter()
+            .filter(|c| c.until > now)
+            .map(|c| c.id)
+            .collect()
     }
 }
 
@@ -174,7 +229,13 @@ mod tests {
     fn empty_ledger_grants_immediately() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
         assert_eq!(
-            z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(10), SimDuration::from_mins(5)),
+            z.earliest_clear(
+                ZoneActor::Robot,
+                rack(0, 3),
+                SimTime::ZERO,
+                at(10),
+                SimDuration::from_mins(5)
+            ),
             at(10)
         );
     }
@@ -182,92 +243,269 @@ mod tests {
     #[test]
     fn robot_waits_for_human_in_zone() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Human, rack(0, 3), at(0), SimDuration::from_mins(60));
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(0),
+            SimDuration::from_mins(60),
+        );
         // Same rack: wait until the human leaves.
-        let s = z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(10), SimDuration::from_mins(5));
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(10),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, at(60));
         // Adjacent rack (within halfwidth 1): also blocked.
-        let s2 = z.earliest_clear(ZoneActor::Robot, rack(0, 4), SimTime::ZERO, at(10), SimDuration::from_mins(5));
+        let s2 = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 4),
+            SimTime::ZERO,
+            at(10),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s2, at(60));
         // Two racks away: zones [2,4] and [4,6] overlap at col 4 → blocked;
         // three racks away is clear.
-        let s3 = z.earliest_clear(ZoneActor::Robot, rack(0, 6), SimTime::ZERO, at(10), SimDuration::from_mins(5));
+        let s3 = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 6),
+            SimTime::ZERO,
+            at(10),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s3, at(10));
     }
 
     #[test]
     fn human_waits_for_robot_symmetrically() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Robot, rack(1, 5), at(0), SimDuration::from_mins(30));
-        let s = z.earliest_clear(ZoneActor::Human, rack(1, 5), SimTime::ZERO, at(0), SimDuration::from_mins(10));
+        z.claim(
+            ZoneActor::Robot,
+            rack(1, 5),
+            at(0),
+            SimDuration::from_mins(30),
+        );
+        let s = z.earliest_clear(
+            ZoneActor::Human,
+            rack(1, 5),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(10),
+        );
         assert_eq!(s, at(30));
     }
 
     #[test]
     fn same_kind_coexists() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Robot, rack(0, 3), at(0), SimDuration::from_mins(60));
-        let s = z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(5), SimDuration::from_mins(5));
+        z.claim(
+            ZoneActor::Robot,
+            rack(0, 3),
+            at(0),
+            SimDuration::from_mins(60),
+        );
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(5),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, at(5), "robots coordinate among themselves");
-        z.claim(ZoneActor::Human, rack(2, 3), at(0), SimDuration::from_mins(60));
-        let s2 = z.earliest_clear(ZoneActor::Human, rack(2, 3), SimTime::ZERO, at(5), SimDuration::from_mins(5));
+        z.claim(
+            ZoneActor::Human,
+            rack(2, 3),
+            at(0),
+            SimDuration::from_mins(60),
+        );
+        let s2 = z.earliest_clear(
+            ZoneActor::Human,
+            rack(2, 3),
+            SimTime::ZERO,
+            at(5),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s2, at(5));
     }
 
     #[test]
     fn different_rows_never_conflict() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Human, rack(0, 3), at(0), SimDuration::from_hours(8));
-        let s = z.earliest_clear(ZoneActor::Robot, rack(1, 3), SimTime::ZERO, at(0), SimDuration::from_mins(5));
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(0),
+            SimDuration::from_hours(8),
+        );
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(1, 3),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, SimTime::ZERO);
     }
 
     #[test]
     fn chains_past_consecutive_claims() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Human, rack(0, 3), at(0), SimDuration::from_mins(30));
-        z.claim(ZoneActor::Human, rack(0, 3), at(30), SimDuration::from_mins(30));
-        let s = z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(0), SimDuration::from_mins(5));
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(0),
+            SimDuration::from_mins(30),
+        );
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(30),
+            SimDuration::from_mins(30),
+        );
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, at(60));
     }
 
     #[test]
     fn expired_claims_are_pruned() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Human, rack(0, 3), at(0), SimDuration::from_mins(10));
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(0),
+            SimDuration::from_mins(10),
+        );
         assert_eq!(z.active(at(5)), 1);
         assert_eq!(z.active(at(20)), 0);
-        let s = z.earliest_clear(ZoneActor::Robot, rack(0, 3), at(20), at(20), SimDuration::from_mins(5));
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            at(20),
+            at(20),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, at(20));
     }
 
     #[test]
     fn reserve_claims_atomically() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        let s1 = z.reserve(ZoneActor::Human, rack(0, 0), SimTime::ZERO, at(0), SimDuration::from_mins(20));
+        let s1 = z.reserve(
+            ZoneActor::Human,
+            rack(0, 0),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(20),
+        );
         assert_eq!(s1, at(0));
-        let s2 = z.reserve(ZoneActor::Robot, rack(0, 0), SimTime::ZERO, at(0), SimDuration::from_mins(20));
+        let s2 = z.reserve(
+            ZoneActor::Robot,
+            rack(0, 0),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(20),
+        );
         assert_eq!(s2, at(20));
         // A second human fits *before* the robot's window (humans
         // coexist with the first human claim, and [0,20) does not
         // overlap the robot's [20,40)).
-        let s3 = z.reserve(ZoneActor::Human, rack(0, 0), SimTime::ZERO, at(0), SimDuration::from_mins(20));
+        let s3 = z.reserve(
+            ZoneActor::Human,
+            rack(0, 0),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(20),
+        );
         assert_eq!(s3, at(0));
         // But a long human job that cannot finish before the robot
         // starts queues behind it.
-        let s4 = z.reserve(ZoneActor::Human, rack(0, 0), SimTime::ZERO, at(0), SimDuration::from_mins(30));
+        let s4 = z.reserve(
+            ZoneActor::Human,
+            rack(0, 0),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(30),
+        );
         assert_eq!(s4, at(40), "human queues behind the robot's window");
+    }
+
+    #[test]
+    fn release_frees_the_zone_for_the_other_actor() {
+        let mut z = ZoneLedger::new(SafetyConfig::default());
+        let (s, id) = z.reserve_claim(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_hours(2),
+        );
+        assert_eq!(s, at(0));
+        // Mid-claim abort at t=10: the human no longer waits two hours.
+        z.release(id, at(10));
+        assert!(!z.is_held_beyond(id, at(10)));
+        let h = z.earliest_clear(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(10),
+            at(10),
+            SimDuration::from_mins(5),
+        );
+        assert_eq!(h, at(10));
+    }
+
+    #[test]
+    fn releasing_a_not_yet_started_claim_removes_it() {
+        let mut z = ZoneLedger::new(SafetyConfig::default());
+        let (s, id) = z.reserve_claim(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(60),
+            SimDuration::from_mins(30),
+        );
+        assert_eq!(s, at(60));
+        z.release(id, at(5));
+        assert_eq!(z.active(at(5)), 0);
+        // Double release and unknown ids are no-ops.
+        z.release(id, at(6));
+        z.release(ClaimId(999), at(6));
     }
 
     #[test]
     fn future_claim_allows_work_before_it() {
         let mut z = ZoneLedger::new(SafetyConfig::default());
-        z.claim(ZoneActor::Human, rack(0, 3), at(60), SimDuration::from_mins(30));
+        z.claim(
+            ZoneActor::Human,
+            rack(0, 3),
+            at(60),
+            SimDuration::from_mins(30),
+        );
         // A 5-minute robot job finishing before the human arrives fits.
-        let s = z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(0), SimDuration::from_mins(5));
+        let s = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_mins(5),
+        );
         assert_eq!(s, SimTime::ZERO);
         // A 2-hour robot job overlaps the human window → pushed after.
-        let s2 = z.earliest_clear(ZoneActor::Robot, rack(0, 3), SimTime::ZERO, at(0), SimDuration::from_hours(2));
+        let s2 = z.earliest_clear(
+            ZoneActor::Robot,
+            rack(0, 3),
+            SimTime::ZERO,
+            at(0),
+            SimDuration::from_hours(2),
+        );
         assert_eq!(s2, at(90));
     }
 }

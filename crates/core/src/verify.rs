@@ -116,7 +116,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn setup() -> (Topology, NetState, Vec<(NodeId, NodeId)>) {
-        let t = leaf_spine(2, 3, 2, 1, DiversityProfile::standardized(), &SimRng::root(3));
+        let t = leaf_spine(
+            2,
+            3,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(3),
+        );
         let s = NetState::new(&t);
         let servers = t.servers();
         let mut pairs = Vec::new();
@@ -172,9 +179,7 @@ mod tests {
         assert!(r.worst_path_ratio <= 0.5 + 1e-9, "path diversity halved");
         assert!(!r.is_clean());
         assert!(
-            (r.exposure_link_seconds
-                - r.exposed_links.len() as f64 * window.as_secs_f64())
-            .abs()
+            (r.exposure_link_seconds - r.exposed_links.len() as f64 * window.as_secs_f64()).abs()
                 < 1e-9
         );
     }

@@ -247,7 +247,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn fabric() -> (Topology, NetState) {
-        let t = leaf_spine(2, 2, 2, 1, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            2,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         let s = NetState::new(&t);
         (t, s)
     }

@@ -87,7 +87,10 @@ pub fn leaf_spine(
 /// k-ary fat-tree (k even): k pods of k/2 edge + k/2 aggregation switches,
 /// (k/2)² cores, (k/2)² servers per pod.
 pub fn fat_tree(k: usize, diversity: DiversityProfile, rng: &SimRng) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
     let half = k / 2;
     let cores = half * half;
     let network_racks = (cores as u32).div_ceil(CORES_PER_RACK).max(1);
@@ -116,10 +119,7 @@ pub fn fat_tree(k: usize, diversity: DiversityProfile, rng: &SimRng) -> Topology
                     &format!("edge-{pod}-{e}"),
                     SwitchSpec::tor32(),
                     Tier::Tor,
-                    RackLoc {
-                        row,
-                        col: e as u32,
-                    },
+                    RackLoc { row, col: e as u32 },
                 )
             })
             .collect();
@@ -129,10 +129,7 @@ pub fn fat_tree(k: usize, diversity: DiversityProfile, rng: &SimRng) -> Topology
                     &format!("agg-{pod}-{a}"),
                     SwitchSpec::tor32(),
                     Tier::Agg,
-                    RackLoc {
-                        row,
-                        col: a as u32,
-                    },
+                    RackLoc { row, col: a as u32 },
                 )
             })
             .collect();
@@ -153,10 +150,7 @@ pub fn fat_tree(k: usize, diversity: DiversityProfile, rng: &SimRng) -> Topology
             for s in 0..half {
                 let srv = b.add_server(
                     &format!("srv-{pod}-{e}-{s}"),
-                    RackLoc {
-                        row,
-                        col: e as u32,
-                    },
+                    RackLoc { row, col: e as u32 },
                 );
                 b.connect(edge, srv, FormFactor::Qsfp28);
             }
@@ -338,7 +332,14 @@ mod tests {
 
     #[test]
     fn leaf_spine_counts() {
-        let t = leaf_spine(4, 8, 4, 1, DiversityProfile::cloud_typical(), &SimRng::root(1));
+        let t = leaf_spine(
+            4,
+            8,
+            4,
+            1,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(1),
+        );
         assert_eq!(t.switches().len(), 12);
         assert_eq!(t.servers().len(), 32);
         // 8 leaves * 4 spines + 8 * 4 servers
@@ -348,7 +349,14 @@ mod tests {
 
     #[test]
     fn leaf_spine_uplink_multiplicity() {
-        let t = leaf_spine(2, 2, 0, 3, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            2,
+            0,
+            3,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         assert_eq!(t.link_count(), 2 * 2 * 3);
     }
 
@@ -381,7 +389,13 @@ mod tests {
 
     #[test]
     fn jellyfish_is_regular_and_connected() {
-        let t = jellyfish(20, 6, 2, DiversityProfile::cloud_typical(), &SimRng::root(3));
+        let t = jellyfish(
+            20,
+            6,
+            2,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(3),
+        );
         assert_eq!(t.switches().len(), 20);
         assert_eq!(t.servers().len(), 40);
         for n in t.node_ids() {
@@ -419,8 +433,20 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = jellyfish(12, 4, 1, DiversityProfile::cloud_typical(), &SimRng::root(9));
-        let b = jellyfish(12, 4, 1, DiversityProfile::cloud_typical(), &SimRng::root(9));
+        let a = jellyfish(
+            12,
+            4,
+            1,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(9),
+        );
+        let b = jellyfish(
+            12,
+            4,
+            1,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(9),
+        );
         let ea: Vec<_> = a.link_ids().map(|l| a.endpoints(l)).collect();
         let eb: Vec<_> = b.link_ids().map(|l| b.endpoints(l)).collect();
         assert_eq!(ea, eb);

@@ -334,7 +334,10 @@ mod tests {
         assert!(a.is_panel_neighbor(&near, 2));
         assert!(!a.is_panel_neighbor(&far, 2));
         assert!(!a.is_panel_neighbor(&other_u, 2));
-        assert!(!a.is_panel_neighbor(&a, 2), "a port is not its own neighbor");
+        assert!(
+            !a.is_panel_neighbor(&a, 2),
+            "a port is not its own neighbor"
+        );
     }
 
     #[test]

@@ -151,7 +151,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn ls() -> (Topology, NetState) {
-        let t = leaf_spine(2, 3, 2, 1, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            3,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         let s = NetState::new(&t);
         (t, s)
     }
@@ -217,10 +224,7 @@ mod tests {
         let (t, mut s) = ls();
         // Take down every link of spine 0; leaf-spine with 2 spines
         // remains connected through spine 1.
-        let spine = t
-            .node_ids()
-            .find(|&n| t.node(n).name == "spine-0")
-            .unwrap();
+        let spine = t.node_ids().find(|&n| t.node(n).name == "spine-0").unwrap();
         for l in t.links_of(spine) {
             s.set_health(l, LinkHealth::Down, 1.0);
         }
@@ -247,7 +251,11 @@ mod tests {
         let cross: Vec<_> = servers
             .iter()
             .filter(|&&n| t.node(n).name.starts_with("srv-0-0"))
-            .chain(servers.iter().filter(|&&n| t.node(n).name.starts_with("srv-1-0")))
+            .chain(
+                servers
+                    .iter()
+                    .filter(|&&n| t.node(n).name.starts_with("srv-1-0")),
+            )
             .copied()
             .collect();
         let count = ecmp_path_count(&t, &s, cross[0], *cross.last().unwrap());

@@ -167,7 +167,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn topo() -> Topology {
-        leaf_spine(2, 2, 1, 1, DiversityProfile::standardized(), &SimRng::root(1))
+        leaf_spine(
+            2,
+            2,
+            1,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        )
     }
 
     #[test]

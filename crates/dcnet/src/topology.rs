@@ -211,7 +211,10 @@ impl Topology {
     /// Node endpoints of a link.
     pub fn endpoints(&self, l: LinkId) -> (NodeId, NodeId) {
         let link = &self.links[l.index()];
-        (self.ports[link.a.index()].node, self.ports[link.b.index()].node)
+        (
+            self.ports[link.a.index()].node,
+            self.ports[link.b.index()].node,
+        )
     }
 
     /// Neighbor nodes of `n` with the connecting link.
@@ -287,12 +290,7 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Start building in the given hall with the given component diversity.
     /// `rng` seeds design-family sampling (deterministic per root seed).
-    pub fn new(
-        name: &str,
-        layout: HallLayout,
-        diversity: DiversityProfile,
-        rng: &SimRng,
-    ) -> Self {
+    pub fn new(name: &str, layout: HallLayout, diversity: DiversityProfile, rng: &SimRng) -> Self {
         let racks = layout.rack_count();
         TopologyBuilder {
             layout,
@@ -315,21 +313,25 @@ impl TopologyBuilder {
 
     /// Place a switch at the top of the given rack (ToRs) or the next free
     /// U from the bottom (spines in network racks). Returns its node id.
-    pub fn add_switch(&mut self, name: &str, spec: SwitchSpec, tier: Tier, rack: RackLoc) -> NodeId {
+    pub fn add_switch(
+        &mut self,
+        name: &str,
+        spec: SwitchSpec,
+        tier: Tier,
+        rack: RackLoc,
+    ) -> NodeId {
         let rack_id = self.layout.rack_id(rack);
         let u = match tier {
             // ToRs go at the top of the rack (standard practice).
             Tier::Tor => self.layout.rack_height_u - spec.height_u + 1,
             _ => self.alloc_u(rack_id, spec.height_u),
         };
-        self.push_node(
-            Node {
-                kind: NodeKind::Switch { spec, tier },
-                rack: rack_id,
-                u,
-                name: name.to_string(),
-            },
-        )
+        self.push_node(Node {
+            kind: NodeKind::Switch { spec, tier },
+            rack: rack_id,
+            u,
+            name: name.to_string(),
+        })
     }
 
     /// Place a server in the next free U of the given rack.
@@ -486,7 +488,10 @@ impl TopologyBuilder {
             port_link: self.port_link,
             adjacency,
             tray_occupancy,
-            disturb_neighbors: disturb.into_iter().map(|s| s.into_iter().collect()).collect(),
+            disturb_neighbors: disturb
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
             name: self.name,
         }
     }
@@ -504,8 +509,18 @@ mod tests {
             DiversityProfile::cloud_typical(),
             &rng,
         );
-        let s0 = b.add_switch("tor-0", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 0 });
-        let s1 = b.add_switch("tor-1", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 1 });
+        let s0 = b.add_switch(
+            "tor-0",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 0 },
+        );
+        let s1 = b.add_switch(
+            "tor-1",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 1 },
+        );
         let srv = b.add_server("srv-0", RackLoc { row: 0, col: 0 });
         b.connect(s0, s1, FormFactor::QsfpDd);
         b.connect(s0, srv, FormFactor::Qsfp28);
@@ -579,7 +594,12 @@ mod tests {
             DiversityProfile::standardized(),
             &rng,
         );
-        let tor = b.add_switch("tor", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 0 });
+        let tor = b.add_switch(
+            "tor",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 0 },
+        );
         let mut links = Vec::new();
         for i in 0..4 {
             let s = b.add_server(&format!("srv-{i}"), RackLoc { row: 0, col: 0 });
@@ -602,9 +622,24 @@ mod tests {
             DiversityProfile::standardized(),
             &rng,
         );
-        let s0 = b.add_switch("a", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 0 });
-        let s2 = b.add_switch("c", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 2 });
-        let s1 = b.add_switch("b", SwitchSpec::tor32(), Tier::Tor, RackLoc { row: 0, col: 1 });
+        let s0 = b.add_switch(
+            "a",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 0 },
+        );
+        let s2 = b.add_switch(
+            "c",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 2 },
+        );
+        let s1 = b.add_switch(
+            "b",
+            SwitchSpec::tor32(),
+            Tier::Tor,
+            RackLoc { row: 0, col: 1 },
+        );
         let l02 = b.connect(s0, s2, FormFactor::QsfpDd);
         let l01 = b.connect(s0, s1, FormFactor::QsfpDd);
         let t = b.build();

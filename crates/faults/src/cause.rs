@@ -293,10 +293,7 @@ mod tests {
     fn ladder_order_matches_paper() {
         assert_eq!(RepairAction::LADDER[0], RepairAction::Reseat);
         assert_eq!(RepairAction::LADDER[1], RepairAction::CleanEndFace);
-        assert_eq!(
-            RepairAction::LADDER[4],
-            RepairAction::ReplaceSwitchHardware
-        );
+        assert_eq!(RepairAction::LADDER[4], RepairAction::ReplaceSwitchHardware);
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let after_dry = ef.clean_dry(&mut r);
         assert!(after_dry < before);
         let after_wet = ef.clean_wet(&mut r);
-        assert!(after_wet < 0.1, "wet clean should near-restore: {after_wet}");
+        assert!(
+            after_wet < 0.1,
+            "wet clean should near-restore: {after_wet}"
+        );
         assert!(ef.passes_inspection());
     }
 

@@ -158,7 +158,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn topo() -> Topology {
-        leaf_spine(4, 8, 4, 1, DiversityProfile::cloud_typical(), &SimRng::root(1))
+        leaf_spine(
+            4,
+            8,
+            4,
+            1,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(1),
+        )
     }
 
     #[test]

@@ -125,18 +125,17 @@ impl FaultInjector {
         let (health, loss) = cause.manifest(&mut self.manifests);
         // Only gray failures self-heal; hard-down hardware does not come
         // back on its own.
-        let self_heal_after = if health != LinkHealth::Down
-            && self.manifests.chance(self.cfg.self_heal_prob)
-        {
-            Some(
-                Dist::Exp {
-                    mean: self.cfg.self_heal_mean.as_secs_f64(),
-                }
-                .sample_duration(&mut self.manifests),
-            )
-        } else {
-            None
-        };
+        let self_heal_after =
+            if health != LinkHealth::Down && self.manifests.chance(self.cfg.self_heal_prob) {
+                Some(
+                    Dist::Exp {
+                        mean: self.cfg.self_heal_mean.as_secs_f64(),
+                    }
+                    .sample_duration(&mut self.manifests),
+                )
+            } else {
+                None
+            };
         Incident {
             link,
             cause,
@@ -154,7 +153,14 @@ mod tests {
     use dcmaint_dcnet::DiversityProfile;
 
     fn topo() -> Topology {
-        leaf_spine(2, 4, 2, 1, DiversityProfile::cloud_typical(), &SimRng::root(1))
+        leaf_spine(
+            2,
+            4,
+            2,
+            1,
+            DiversityProfile::cloud_typical(),
+            &SimRng::root(1),
+        )
     }
 
     fn injector() -> FaultInjector {

@@ -45,6 +45,7 @@ pub mod disturb;
 pub mod env;
 pub mod gilbert;
 pub mod injector;
+pub mod robot;
 
 pub use cause::{RepairAction, RootCause};
 pub use contamination::EndFace;
@@ -52,3 +53,4 @@ pub use disturb::{contact_set, disturb, ActorProfile, DisturbanceEffect};
 pub use env::{diurnal_utilization, Environment};
 pub use gilbert::{FlapPhase, FlapProcess};
 pub use injector::{FaultConfig, FaultInjector, Incident};
+pub use robot::{RobotFault, RobotFaultConfig, RobotPhaseClass};

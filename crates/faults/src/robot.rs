@@ -1,0 +1,319 @@
+//! Maintenance-plane fault physics: the robots and their control plane
+//! are hardware too.
+//!
+//! §3.4 and §4 of the paper warn that once robots do the maintenance,
+//! the maintenance plane itself becomes critical infrastructure — grip
+//! slips, vision misidentifications, actuator stalls, units breaking
+//! down mid-operation, spare magazines jamming, telemetry dropping out,
+//! and dispatch messages getting lost. This module models each hazard
+//! as a seed-deterministic process. The robotics crate maps its
+//! `OpPhase` vocabulary onto the coarse [`RobotPhaseClass`] here (the
+//! dependency points robotics → faults, so this crate cannot name
+//! `OpPhase` itself).
+//!
+//! All hazards are **off by default**: `RobotFaultConfig::default()`
+//! draws nothing from the RNG, so runs without maintenance-plane chaos
+//! reproduce byte-identically what they produced before this module
+//! existed.
+
+use dcmaint_des::{SimDuration, Stream};
+
+/// Coarse mechanical class of an operation phase, from the fault
+/// model's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobotPhaseClass {
+    /// Locomotion (gantry/AGV travel).
+    Motion,
+    /// Camera + recognition work.
+    Vision,
+    /// Gripper engaged on a component.
+    Grip,
+    /// Powered manipulation (cleaning, cable work, insertion).
+    Actuation,
+    /// Spare-magazine handling.
+    Magazine,
+    /// Passive waits (dwell, verification soak) — only whole-unit
+    /// breakdown applies.
+    Passive,
+}
+
+/// A maintenance-plane fault drawn during an operation phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobotFault {
+    /// Gripper lost the component.
+    GripSlip,
+    /// Vision locked onto the wrong port/component.
+    VisionMisidentify,
+    /// An actuator seized; the unit freezes in place.
+    ActuatorStall,
+    /// The whole unit broke down mid-operation.
+    UnitBreakdown,
+    /// The spare magazine jammed during a swap.
+    MagazineJam,
+}
+
+impl RobotFault {
+    /// Short label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RobotFault::GripSlip => "grip-slip",
+            RobotFault::VisionMisidentify => "vision-misid",
+            RobotFault::ActuatorStall => "actuator-stall",
+            RobotFault::UnitBreakdown => "unit-breakdown",
+            RobotFault::MagazineJam => "magazine-jam",
+        }
+    }
+
+    /// Whether this fault leaves the unit frozen (stall) rather than
+    /// able to back out of the operation on its own.
+    pub fn freezes_unit(self) -> bool {
+        matches!(self, RobotFault::ActuatorStall | RobotFault::UnitBreakdown)
+    }
+}
+
+/// Hazard rates for the maintenance plane. Time-based hazards are
+/// expressed as mean time between faults *while exposed* (a unit only
+/// accumulates actuator-stall exposure during powered phases);
+/// event-based hazards are per-attempt probabilities.
+#[derive(Debug, Clone)]
+pub struct RobotFaultConfig {
+    /// Master switch. When false no hazard is ever sampled and no RNG
+    /// draw is made.
+    pub enabled: bool,
+    /// Mean operating time between whole-unit breakdowns (exposure:
+    /// every phase).
+    pub unit_mtbf: SimDuration,
+    /// Mean powered time between actuator stalls (exposure: Motion,
+    /// Grip, Actuation, Magazine phases).
+    pub actuator_mtbf: SimDuration,
+    /// Per-grip-phase probability the gripper drops the component
+    /// (beyond the retried slips already modeled inside the grip
+    /// phase itself — this one aborts the operation).
+    pub grip_slip_prob: f64,
+    /// Per-vision-phase probability of locking onto the wrong target.
+    pub vision_misid_prob: f64,
+    /// Per-magazine-phase probability of a spare jam.
+    pub magazine_jam_prob: f64,
+    /// Probability an entire telemetry poll cycle is lost (alerts
+    /// delayed to the next poll).
+    pub telemetry_dropout: f64,
+    /// Probability a dispatch message is lost in flight (recovered
+    /// only by the controller's watchdog).
+    pub dispatch_loss: f64,
+}
+
+impl Default for RobotFaultConfig {
+    fn default() -> Self {
+        RobotFaultConfig {
+            enabled: false,
+            unit_mtbf: SimDuration::from_hours(200),
+            actuator_mtbf: SimDuration::from_hours(80),
+            grip_slip_prob: 0.0,
+            vision_misid_prob: 0.0,
+            magazine_jam_prob: 0.0,
+            telemetry_dropout: 0.0,
+            dispatch_loss: 0.0,
+        }
+    }
+}
+
+impl RobotFaultConfig {
+    /// A chaos preset with every hazard turned on at rates high enough
+    /// to exercise recovery within a short run (used by E14's stressed
+    /// arms and the `robot_breakdown` example).
+    pub fn chaos() -> Self {
+        RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_hours(2),
+            actuator_mtbf: SimDuration::from_hours(1),
+            grip_slip_prob: 0.03,
+            vision_misid_prob: 0.02,
+            magazine_jam_prob: 0.05,
+            telemetry_dropout: 0.05,
+            dispatch_loss: 0.02,
+        }
+    }
+
+    /// Probability of at least one fault with mean spacing `mtbf`
+    /// during `exposure` of exposed time.
+    fn hazard(exposure: SimDuration, mtbf: SimDuration) -> f64 {
+        let m = mtbf.as_secs_f64();
+        if m <= 0.0 {
+            return 1.0;
+        }
+        1.0 - (-exposure.as_secs_f64() / m).exp()
+    }
+
+    /// Roll the hazards for one phase of the given class and duration.
+    /// Returns the first fault drawn, or `None`. Disabled configs make
+    /// **no** RNG draws, so they leave stream state untouched.
+    pub fn sample_phase_fault(
+        &self,
+        class: RobotPhaseClass,
+        duration: SimDuration,
+        rng: &mut Stream,
+    ) -> Option<RobotFault> {
+        if !self.enabled {
+            return None;
+        }
+        // Whole-unit breakdown exposure accrues in every phase.
+        if rng.chance(Self::hazard(duration, self.unit_mtbf)) {
+            return Some(RobotFault::UnitBreakdown);
+        }
+        match class {
+            RobotPhaseClass::Motion | RobotPhaseClass::Actuation => {
+                if rng.chance(Self::hazard(duration, self.actuator_mtbf)) {
+                    return Some(RobotFault::ActuatorStall);
+                }
+            }
+            RobotPhaseClass::Grip => {
+                if rng.chance(Self::hazard(duration, self.actuator_mtbf)) {
+                    return Some(RobotFault::ActuatorStall);
+                }
+                if rng.chance(self.grip_slip_prob) {
+                    return Some(RobotFault::GripSlip);
+                }
+            }
+            RobotPhaseClass::Vision => {
+                if rng.chance(self.vision_misid_prob) {
+                    return Some(RobotFault::VisionMisidentify);
+                }
+            }
+            RobotPhaseClass::Magazine => {
+                if rng.chance(Self::hazard(duration, self.actuator_mtbf)) {
+                    return Some(RobotFault::ActuatorStall);
+                }
+                if rng.chance(self.magazine_jam_prob) {
+                    return Some(RobotFault::MagazineJam);
+                }
+            }
+            RobotPhaseClass::Passive => {}
+        }
+        None
+    }
+
+    /// Roll the per-poll telemetry-dropout dice. No draw when disabled.
+    pub fn telemetry_dropped(&self, rng: &mut Stream) -> bool {
+        self.enabled && self.telemetry_dropout > 0.0 && rng.chance(self.telemetry_dropout)
+    }
+
+    /// Roll the per-message dispatch-loss dice. No draw when disabled.
+    pub fn dispatch_lost(&self, rng: &mut Stream) -> bool {
+        self.enabled && self.dispatch_loss > 0.0 && rng.chance(self.dispatch_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    fn rng() -> Stream {
+        SimRng::root(7).stream("robot-faults", 0)
+    }
+
+    #[test]
+    fn disabled_config_never_draws() {
+        let cfg = RobotFaultConfig::default();
+        let mut a = rng();
+        let mut b = rng();
+        for class in [
+            RobotPhaseClass::Motion,
+            RobotPhaseClass::Grip,
+            RobotPhaseClass::Magazine,
+        ] {
+            assert_eq!(
+                cfg.sample_phase_fault(class, SimDuration::from_hours(100), &mut a),
+                None
+            );
+        }
+        assert!(!cfg.telemetry_dropped(&mut a));
+        assert!(!cfg.dispatch_lost(&mut a));
+        // Stream state untouched: both streams still agree.
+        assert_eq!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn hazard_scales_with_exposure() {
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_hours(10),
+            ..RobotFaultConfig::default()
+        };
+        let mut r = rng();
+        let count = |d: SimDuration, r: &mut Stream| {
+            (0..4000)
+                .filter(|_| {
+                    cfg.sample_phase_fault(RobotPhaseClass::Passive, d, r)
+                        == Some(RobotFault::UnitBreakdown)
+                })
+                .count()
+        };
+        let short = count(SimDuration::from_mins(6), &mut r);
+        let long = count(SimDuration::from_mins(60), &mut r);
+        // 6 min on 10 h MTBF ≈ 1%; 60 min ≈ 9.5%.
+        assert!(long > 4 * short, "short {short} long {long}");
+    }
+
+    #[test]
+    fn class_specific_faults_respect_class() {
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_hours(1_000_000),
+            actuator_mtbf: SimDuration::from_hours(1_000_000),
+            grip_slip_prob: 1.0,
+            vision_misid_prob: 1.0,
+            magazine_jam_prob: 1.0,
+            ..RobotFaultConfig::default()
+        };
+        let mut r = rng();
+        let d = SimDuration::from_secs(10);
+        assert_eq!(
+            cfg.sample_phase_fault(RobotPhaseClass::Grip, d, &mut r),
+            Some(RobotFault::GripSlip)
+        );
+        assert_eq!(
+            cfg.sample_phase_fault(RobotPhaseClass::Vision, d, &mut r),
+            Some(RobotFault::VisionMisidentify)
+        );
+        assert_eq!(
+            cfg.sample_phase_fault(RobotPhaseClass::Magazine, d, &mut r),
+            Some(RobotFault::MagazineJam)
+        );
+        assert_eq!(
+            cfg.sample_phase_fault(RobotPhaseClass::Passive, d, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let cfg = RobotFaultConfig::chaos();
+        let run = || {
+            let mut r = rng();
+            (0..200)
+                .map(|_| {
+                    cfg.sample_phase_fault(
+                        RobotPhaseClass::Actuation,
+                        SimDuration::from_mins(5),
+                        &mut r,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn control_plane_loss_rates_are_probabilities() {
+        let cfg = RobotFaultConfig::chaos();
+        let mut r = rng();
+        let drops = (0..10_000)
+            .filter(|_| cfg.telemetry_dropped(&mut r))
+            .count();
+        let losses = (0..10_000).filter(|_| cfg.dispatch_lost(&mut r)).count();
+        // 5% and 2% nominal.
+        assert!((300..700).contains(&drops), "drops {drops}");
+        assert!((100..350).contains(&losses), "losses {losses}");
+    }
+}

@@ -191,9 +191,7 @@ impl FleetAvailability {
             failures += s.failures;
             let mut w = s.downtime_windows;
             for x in w.as_samples().iter().collect::<Vec<_>>() {
-                windows
-                    .as_samples()
-                    .record(x);
+                windows.as_samples().record(x);
             }
             if worst.is_none_or(|(_, a)| s.availability < a) {
                 worst = Some((key, s.availability));

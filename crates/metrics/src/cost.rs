@@ -104,8 +104,7 @@ impl CostLedger {
 
     /// Charge standing redundancy: `links` spare links carried for `time`.
     pub fn charge_redundancy(&mut self, model: &CostModel, links: usize, time: SimDuration) {
-        self.redundancy +=
-            model.redundant_link_annual * links as f64 * time.as_days_f64() / 365.0;
+        self.redundancy += model.redundant_link_annual * links as f64 * time.as_days_f64() / 365.0;
     }
 
     /// Grand total (USD).

@@ -110,8 +110,7 @@ impl StreamingStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -324,8 +323,20 @@ impl DurationHistogram {
     /// Standard buckets for repair-time analysis: 1 s … 30 d, log-spaced.
     pub fn repair_scale() -> Self {
         let secs = [
-            1u64, 10, 30, 60, 300, 900, 1_800, 3_600, 4 * 3_600, 12 * 3_600, 24 * 3_600,
-            3 * 24 * 3_600, 7 * 24 * 3_600, 30 * 24 * 3_600,
+            1u64,
+            10,
+            30,
+            60,
+            300,
+            900,
+            1_800,
+            3_600,
+            4 * 3_600,
+            12 * 3_600,
+            24 * 3_600,
+            3 * 24 * 3_600,
+            7 * 24 * 3_600,
+            30 * 24 * 3_600,
         ];
         Self::new(secs.iter().map(|&s| SimDuration::from_secs(s)).collect())
     }

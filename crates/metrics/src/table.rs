@@ -29,10 +29,7 @@ impl Table {
     pub fn new(title: &str, columns: &[(&str, Align)]) -> Self {
         Table {
             title: title.to_string(),
-            columns: columns
-                .iter()
-                .map(|(h, a)| (h.to_string(), *a))
-                .collect(),
+            columns: columns.iter().map(|(h, a)| (h.to_string(), *a)).collect(),
             rows: Vec::new(),
         }
     }
@@ -140,7 +137,11 @@ fn csv_line(cells: &[&str]) -> String {
 /// Format a float with `digits` decimals, trimming to a compact string.
 pub fn fnum(x: f64, digits: usize) -> String {
     if !x.is_finite() {
-        return if x.is_nan() { "nan".into() } else { "inf".into() };
+        return if x.is_nan() {
+            "nan".into()
+        } else {
+            "inf".into()
+        };
     }
     format!("{x:.digits$}")
 }
@@ -170,10 +171,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let mut t = Table::new(
-            "demo",
-            &[("name", Align::Left), ("value", Align::Right)],
-        );
+        let mut t = Table::new("demo", &[("name", Align::Left), ("value", Align::Right)]);
         t.row(vec!["alpha", "1"]);
         t.row(vec!["b", "12345"]);
         let out = t.render();
@@ -211,7 +209,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(std::f64::consts::PI, 2), "3.14");
         assert_eq!(fnum(f64::NAN, 2), "nan");
         assert_eq!(fnum(f64::INFINITY, 2), "inf");
         assert_eq!(fratio(2.0), "2.00x");

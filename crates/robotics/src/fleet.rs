@@ -54,6 +54,32 @@ impl Default for FleetConfig {
     }
 }
 
+/// Health of a robot unit. The lifecycle is Healthy → Degraded (after
+/// a fault involvement, e.g. a stall or abort) → Down (breakdown) →
+/// repaired back to Healthy; a unit can also go straight Healthy →
+/// Down on a hard breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitHealth {
+    /// Fully operational.
+    Healthy,
+    /// Operational but suspect after a fault: subsequent hands-on work
+    /// runs at [`RobotFleet::DEGRADED_SLOWDOWN`].
+    Degraded,
+    /// Broken down, awaiting human repair.
+    Down,
+}
+
+impl UnitHealth {
+    /// Short label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnitHealth::Healthy => "healthy",
+            UnitHealth::Degraded => "degraded",
+            UnitHealth::Down => "down",
+        }
+    }
+}
+
 /// One robot unit's live state.
 #[derive(Debug, Clone)]
 pub struct RobotUnit {
@@ -69,6 +95,39 @@ pub struct RobotUnit {
     pub ops_done: u64,
     /// Cumulative busy time.
     pub busy_time: SimDuration,
+    /// Sticky degraded flag (cleared by repair / `mark_repaired`).
+    pub degraded: bool,
+    /// Breakdowns suffered (post-op and mid-op).
+    pub breakdowns: u64,
+    /// Repairs completed on this unit.
+    pub repairs: u64,
+}
+
+impl RobotUnit {
+    fn fresh(home_row: u32, spares: u32) -> Self {
+        RobotUnit {
+            home_row,
+            busy_until: SimTime::ZERO,
+            down_until: SimTime::ZERO,
+            spares,
+            ops_done: 0,
+            busy_time: SimDuration::ZERO,
+            degraded: false,
+            breakdowns: 0,
+            repairs: 0,
+        }
+    }
+
+    /// Effective health at `now`.
+    pub fn health(&self, now: SimTime) -> UnitHealth {
+        if self.down_until > now {
+            UnitHealth::Down
+        } else if self.degraded {
+            UnitHealth::Degraded
+        } else {
+            UnitHealth::Healthy
+        }
+    }
 }
 
 /// A booked robot dispatch.
@@ -103,14 +162,7 @@ impl RobotFleet {
         let mut units = Vec::new();
         for row in 0..layout.rows {
             for _ in 0..per_row {
-                units.push(RobotUnit {
-                    home_row: row,
-                    busy_until: SimTime::ZERO,
-                    down_until: SimTime::ZERO,
-                    spares: cfg.spares_per_unit,
-                    ops_done: 0,
-                    busy_time: SimDuration::ZERO,
-                });
+                units.push(RobotUnit::fresh(row, cfg.spares_per_unit));
             }
         }
         RobotFleet {
@@ -129,14 +181,7 @@ impl RobotFleet {
             ..cfg
         };
         let units = (0..count)
-            .map(|_| RobotUnit {
-                home_row: 0,
-                busy_until: SimTime::ZERO,
-                down_until: SimTime::ZERO,
-                spares: cfg.spares_per_unit,
-                ops_done: 0,
-                busy_time: SimDuration::ZERO,
-            })
+            .map(|_| RobotUnit::fresh(0, cfg.spares_per_unit))
             .collect();
         RobotFleet {
             cfg,
@@ -199,9 +244,36 @@ impl RobotFleet {
         rack: RackLoc,
         hands_on: SimDuration,
     ) -> Option<RobotAssignment> {
+        self.assign_excluding(layout, now, rack, hands_on, None)
+    }
+
+    /// Hands-on slowdown applied to work booked on a Degraded unit.
+    pub const DEGRADED_SLOWDOWN: f64 = 1.25;
+
+    /// [`RobotFleet::assign`], but never picking unit `exclude` — the
+    /// recovery ladder's "reassign to another unit" step must not hand
+    /// the operation back to the robot that just failed it.
+    pub fn assign_excluding(
+        &mut self,
+        layout: &HallLayout,
+        now: SimTime,
+        rack: RackLoc,
+        hands_on: SimDuration,
+        exclude: Option<usize>,
+    ) -> Option<RobotAssignment> {
         let ready = now + self.cfg.dispatch_latency;
         let mut best: Option<(usize, SimTime, f64)> = None;
         for (i, u) in self.units.iter().enumerate() {
+            if Some(i) == exclude {
+                continue;
+            }
+            // A frozen unit (down_until pushed ~a century out) must not
+            // be booked against at all: committing a booking advances
+            // `busy_until` past the freeze sentinel, and that outlives
+            // the repair that eventually clears `down_until`.
+            if u.down_until.since(now) > SimDuration::from_days(365) {
+                continue;
+            }
             let Some(dist) = self.travel_distance(layout, u, rack) else {
                 continue;
             };
@@ -219,7 +291,12 @@ impl RobotFleet {
         let (unit, _, travel_m) = best?;
         let u = &mut self.units[unit];
         let start = u.busy_until.max(u.down_until).max(ready);
-        let total = self.timings.travel(travel_m) + hands_on;
+        let work = if u.degraded {
+            hands_on.mul_f64(Self::DEGRADED_SLOWDOWN)
+        } else {
+            hands_on
+        };
+        let total = self.timings.travel(travel_m) + work;
         u.busy_until = start + total;
         u.busy_time += total;
         u.ops_done += 1;
@@ -231,6 +308,76 @@ impl RobotFleet {
         })
     }
 
+    /// Mark a unit Degraded after a fault involvement (stall cleared by
+    /// a human nudge, abort, jam). Idempotent; no effect on Down units'
+    /// downtime.
+    pub fn mark_degraded(&mut self, unit: usize) {
+        self.units[unit].degraded = true;
+    }
+
+    /// Freeze a unit where it stands (actuator stall / mid-operation
+    /// breakdown): it stops accepting work until someone explicitly
+    /// repairs it via [`RobotFleet::mark_repaired`]. Unlike
+    /// [`RobotFleet::mark_down`] no repair is scheduled — a frozen unit
+    /// announces nothing; only a controller watchdog notices it.
+    pub fn freeze(&mut self, unit: usize, now: SimTime) {
+        let far = now + SimDuration::from_days(365 * 100);
+        let u = &mut self.units[unit];
+        u.down_until = u.down_until.max(far);
+    }
+
+    /// Take a unit Down at `now` (mid-operation breakdown or a stall
+    /// the watchdog declared dead). Repair duration is sampled
+    /// log-normal around the configured median; returns it so the
+    /// caller can schedule the recovered event.
+    pub fn mark_down(&mut self, unit: usize, now: SimTime) -> SimDuration {
+        let repair = Dist::LogNormal {
+            median: self.cfg.repair_median.as_secs_f64(),
+            sigma: 0.5,
+        }
+        .sample_duration(&mut self.rng);
+        let u = &mut self.units[unit];
+        u.down_until = u.down_until.max(now + repair);
+        u.breakdowns += 1;
+        repair
+    }
+
+    /// Complete a unit's repair: Down/Degraded → Healthy.
+    pub fn mark_repaired(&mut self, unit: usize, now: SimTime) {
+        let u = &mut self.units[unit];
+        u.down_until = u.down_until.min(now);
+        u.degraded = false;
+        u.repairs += 1;
+    }
+
+    /// Effective health of a unit at `now`.
+    pub fn health(&self, unit: usize, now: SimTime) -> UnitHealth {
+        self.units[unit].health(now)
+    }
+
+    /// True when every unit that could ever reach `rack` is Down at
+    /// `now` — the recovery ladder's queue-until-fleet-recovers
+    /// predicate.
+    pub fn all_reachable_down(&self, layout: &HallLayout, rack: RackLoc, now: SimTime) -> bool {
+        let mut reachable = 0usize;
+        let mut down = 0usize;
+        for u in &self.units {
+            if self.travel_distance(layout, u, rack).is_none() {
+                continue;
+            }
+            reachable += 1;
+            if u.health(now) == UnitHealth::Down {
+                down += 1;
+            }
+        }
+        reachable > 0 && reachable == down
+    }
+
+    /// Fleet-wide breakdown count.
+    pub fn total_breakdowns(&self) -> u64 {
+        self.units.iter().map(|u| u.breakdowns).sum()
+    }
+
     /// Roll the post-operation breakdown dice for a unit; if it breaks,
     /// mark it down (repair by a human, log-normal around the configured
     /// median) and return the downtime.
@@ -238,13 +385,7 @@ impl RobotFleet {
         if !self.rng.chance(self.cfg.breakdown_prob) {
             return None;
         }
-        let repair = Dist::LogNormal {
-            median: self.cfg.repair_median.as_secs_f64(),
-            sigma: 0.5,
-        }
-        .sample_duration(&mut self.rng);
-        self.units[unit].down_until = now + repair;
-        Some(repair)
+        Some(self.mark_down(unit, now))
     }
 
     /// Consume one spare transceiver from a unit; returns false if empty
@@ -307,10 +448,20 @@ mod tests {
         let small = HallLayout::new(1, 10);
         let mut one_row = RobotFleet::per_row(&small, 1, FleetConfig::default(), &SimRng::root(1));
         assert!(one_row
-            .assign(&layout(), at(0), RackLoc { row: 2, col: 3 }, SimDuration::from_mins(2))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 2, col: 3 },
+                SimDuration::from_mins(2)
+            )
             .is_none());
         assert!(f
-            .assign(&layout(), at(0), RackLoc { row: 2, col: 3 }, SimDuration::from_mins(2))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 2, col: 3 },
+                SimDuration::from_mins(2)
+            )
             .is_some());
     }
 
@@ -318,22 +469,42 @@ mod tests {
     fn hall_scope_reaches_everywhere_but_pays_travel() {
         let mut f = RobotFleet::hall_pool(1, FleetConfig::default(), &SimRng::root(1));
         let a = f
-            .assign(&layout(), at(0), RackLoc { row: 2, col: 9 }, SimDuration::from_mins(2))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 2, col: 9 },
+                SimDuration::from_mins(2),
+            )
             .unwrap();
         assert!(a.travel_m > 0.0);
         // Far corner from the row-0 garage: the AGV trip dominates.
         let mut row = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(1));
         let ar = row
-            .assign(&layout(), at(0), RackLoc { row: 2, col: 9 }, SimDuration::from_mins(2))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 2, col: 9 },
+                SimDuration::from_mins(2),
+            )
             .unwrap();
-        assert!(a.total > ar.total, "hall {:?} vs row {:?}", a.total, ar.total);
+        assert!(
+            a.total > ar.total,
+            "hall {:?} vs row {:?}",
+            a.total,
+            ar.total
+        );
     }
 
     #[test]
     fn dispatch_latency_is_seconds_scale() {
         let mut f = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(1));
         let a = f
-            .assign(&layout(), at(0), RackLoc { row: 0, col: 0 }, SimDuration::from_mins(2))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 0, col: 0 },
+                SimDuration::from_mins(2),
+            )
             .unwrap();
         assert_eq!(a.start, at(30), "30 s dispatch, robot idle");
         // Occupancy includes the gantry's travel along the row.
@@ -400,8 +571,12 @@ mod tests {
     fn accounting_accumulates() {
         let mut f = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(4));
         let rack = RackLoc { row: 0, col: 1 };
-        let a1 = f.assign(&layout(), at(0), rack, SimDuration::from_mins(3)).unwrap();
-        let a2 = f.assign(&layout(), at(0), rack, SimDuration::from_mins(4)).unwrap();
+        let a1 = f
+            .assign(&layout(), at(0), rack, SimDuration::from_mins(3))
+            .unwrap();
+        let a2 = f
+            .assign(&layout(), at(0), rack, SimDuration::from_mins(4))
+            .unwrap();
         assert_eq!(f.total_ops(), 2);
         assert_eq!(f.total_busy(), a1.total + a2.total);
         assert!(f.total_busy() >= SimDuration::from_mins(7));
@@ -412,7 +587,112 @@ mod tests {
         let mut f = RobotFleet::hall_pool(0, FleetConfig::default(), &SimRng::root(5));
         assert!(f.is_empty());
         assert!(f
-            .assign(&layout(), at(0), RackLoc { row: 0, col: 0 }, SimDuration::from_mins(1))
+            .assign(
+                &layout(),
+                at(0),
+                RackLoc { row: 0, col: 0 },
+                SimDuration::from_mins(1)
+            )
             .is_none());
+    }
+
+    #[test]
+    fn health_machine_walks_the_ladder() {
+        let mut f = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(6));
+        assert_eq!(f.health(0, at(0)), UnitHealth::Healthy);
+        f.mark_degraded(0);
+        assert_eq!(f.health(0, at(0)), UnitHealth::Degraded);
+        let repair = f.mark_down(0, at(100));
+        assert!(repair > SimDuration::ZERO);
+        assert_eq!(f.health(0, at(101)), UnitHealth::Down);
+        assert_eq!(f.unit(0).breakdowns, 1);
+        // Repaired → Healthy, sticky degraded flag cleared.
+        let healed_at = at(100) + repair;
+        f.mark_repaired(0, healed_at);
+        assert_eq!(f.health(0, healed_at), UnitHealth::Healthy);
+        assert_eq!(f.unit(0).repairs, 1);
+    }
+
+    #[test]
+    fn degraded_units_run_slower() {
+        let hands_on = SimDuration::from_mins(10);
+        let rack = RackLoc { row: 0, col: 2 };
+        let mut a = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(7));
+        let healthy = a.assign(&layout(), at(0), rack, hands_on).unwrap();
+        let mut b = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(7));
+        b.mark_degraded(0);
+        let degraded = b.assign(&layout(), at(0), rack, hands_on).unwrap();
+        assert_eq!(
+            degraded.total.saturating_sub(healthy.total),
+            hands_on.mul_f64(RobotFleet::DEGRADED_SLOWDOWN - 1.0)
+        );
+    }
+
+    #[test]
+    fn assign_excluding_skips_the_failed_unit() {
+        let mut f = RobotFleet::per_row(&layout(), 2, FleetConfig::default(), &SimRng::root(8));
+        let rack = RackLoc { row: 1, col: 4 };
+        let first = f
+            .assign(&layout(), at(0), rack, SimDuration::from_mins(5))
+            .unwrap();
+        let retry = f
+            .assign_excluding(
+                &layout(),
+                at(0),
+                rack,
+                SimDuration::from_mins(5),
+                Some(first.unit),
+            )
+            .unwrap();
+        assert_ne!(retry.unit, first.unit);
+        // With only one unit in the row, exclusion leaves nothing.
+        let small = HallLayout::new(1, 4);
+        let mut lone = RobotFleet::per_row(&small, 1, FleetConfig::default(), &SimRng::root(8));
+        assert!(lone
+            .assign_excluding(
+                &small,
+                at(0),
+                RackLoc { row: 0, col: 1 },
+                SimDuration::from_mins(5),
+                Some(0)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn frozen_units_are_never_booked_and_repair_cleanly() {
+        let small = HallLayout::new(1, 4);
+        let mut f = RobotFleet::per_row(&small, 1, FleetConfig::default(), &SimRng::root(10));
+        let rack = RackLoc { row: 0, col: 1 };
+        let hands_on = SimDuration::from_mins(5);
+        f.freeze(0, at(60));
+        // A frozen unit must yield "no robot", not a booking a century
+        // out — and crucially the attempt must not advance `busy_until`
+        // past the freeze sentinel (that would outlive the repair).
+        assert!(f.assign(&small, at(120), rack, hands_on).is_none());
+        let busy_before = f.unit(0).busy_until;
+        f.mark_repaired(0, at(300));
+        assert_eq!(f.unit(0).busy_until, busy_before);
+        let a = f
+            .assign(&small, at(300), rack, hands_on)
+            .expect("repaired unit books");
+        assert!(
+            a.start.since(at(300)) < SimDuration::from_mins(5),
+            "start {:?}",
+            a.start
+        );
+    }
+
+    #[test]
+    fn all_reachable_down_tracks_row_fleet() {
+        let mut f = RobotFleet::per_row(&layout(), 1, FleetConfig::default(), &SimRng::root(9));
+        let rack = RackLoc { row: 1, col: 0 };
+        assert!(!f.all_reachable_down(&layout(), rack, at(0)));
+        // Down the row-1 unit (index 1): rack in row 1 now has no live
+        // robot, but rows 0/2 still do.
+        f.mark_down(1, at(0));
+        assert!(f.all_reachable_down(&layout(), rack, at(1)));
+        assert!(!f.all_reachable_down(&layout(), RackLoc { row: 0, col: 0 }, at(1)));
+        assert_eq!(f.total_breakdowns(), 1);
     }
 }

@@ -26,6 +26,9 @@ pub mod fleet;
 pub mod ops;
 pub mod vision;
 
-pub use fleet::{FleetConfig, MobilityScope, RobotAssignment, RobotFleet, RobotUnit};
-pub use ops::{run_clean, run_replace, run_reseat, OpPhase, OpResult, OpTimings, ReplaceKind, TimedPhase};
+pub use fleet::{FleetConfig, MobilityScope, RobotAssignment, RobotFleet, RobotUnit, UnitHealth};
+pub use ops::{
+    afflict, run_clean, run_replace, run_reseat, OpOutcome, OpPhase, OpResult, OpTimings,
+    ReplaceKind, TimedPhase,
+};
 pub use vision::{VisionModel, VisionOutcome};

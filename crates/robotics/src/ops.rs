@@ -18,7 +18,7 @@
 //! `examples/cleaning_robot.rs` prints one).
 
 use dcmaint_des::{SimDuration, Stream};
-use dcmaint_faults::EndFace;
+use dcmaint_faults::{EndFace, RobotFault, RobotFaultConfig, RobotPhaseClass};
 
 use crate::vision::VisionModel;
 
@@ -60,6 +60,36 @@ pub enum OpPhase {
 }
 
 impl OpPhase {
+    /// Mechanical class of this phase for the maintenance-plane fault
+    /// model (`dcmaint_faults::robot`).
+    pub fn class(self) -> RobotPhaseClass {
+        match self {
+            OpPhase::Navigate => RobotPhaseClass::Motion,
+            OpPhase::Localize | OpPhase::InspectCores => RobotPhaseClass::Vision,
+            OpPhase::Grip => RobotPhaseClass::Grip,
+            OpPhase::PartCables
+            | OpPhase::Extract
+            | OpPhase::Insert
+            | OpPhase::DetachCable
+            | OpPhase::CleanDry
+            | OpPhase::CleanWet
+            | OpPhase::Reassemble
+            | OpPhase::RouteCable => RobotPhaseClass::Actuation,
+            OpPhase::SwapHardware => RobotPhaseClass::Magazine,
+            OpPhase::Dwell | OpPhase::Verify => RobotPhaseClass::Passive,
+        }
+    }
+
+    /// True while the serviced component is out of its cage/socket: a
+    /// fault here cannot be backed out safely (§3.4's half-extracted
+    /// transceiver problem).
+    pub fn component_exposed(self) -> bool {
+        matches!(
+            self,
+            OpPhase::Extract | OpPhase::Dwell | OpPhase::Insert | OpPhase::SwapHardware
+        )
+    }
+
     /// Short label for traces.
     pub fn label(self) -> &'static str {
         match self {
@@ -91,6 +121,45 @@ pub struct TimedPhase {
     pub duration: SimDuration,
 }
 
+/// How an operation ended once maintenance-plane faults are in play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// Completed autonomously.
+    Completed,
+    /// Could not finish the task; requested human support cleanly
+    /// (vision gave up, cleanliness unverifiable, grip retries
+    /// exhausted). The worksite is left safe.
+    Escalated,
+    /// The unit froze mid-operation (actuator stall or whole-unit
+    /// breakdown). Nothing signals completion — only a watchdog
+    /// notices.
+    Stalled,
+    /// The robot aborted but backed out safely: the component is
+    /// re-inserted and the worksite is clean.
+    AbortedSafe,
+    /// The robot aborted with the component half-extracted: the link
+    /// stays down and the port must be flagged for a human (§3.4).
+    AbortedUnsafe,
+}
+
+impl OpOutcome {
+    /// Short label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpOutcome::Completed => "completed",
+            OpOutcome::Escalated => "escalated",
+            OpOutcome::Stalled => "stalled",
+            OpOutcome::AbortedSafe => "aborted-safe",
+            OpOutcome::AbortedUnsafe => "aborted-unsafe",
+        }
+    }
+
+    /// True for the two abort outcomes.
+    pub fn is_abort(self) -> bool {
+        matches!(self, OpOutcome::AbortedSafe | OpOutcome::AbortedUnsafe)
+    }
+}
+
 /// Outcome of executing an operation plan.
 #[derive(Debug, Clone)]
 pub struct OpResult {
@@ -100,9 +169,37 @@ pub struct OpResult {
     pub success: bool,
     /// Whether the robot requested human support.
     pub escalated: bool,
+    /// Full outcome classification (redundant with `success` /
+    /// `escalated` for the two legacy outcomes; richer once
+    /// [`afflict`] has run).
+    pub outcome: OpOutcome,
+    /// The maintenance-plane fault that ended the operation, if any.
+    pub fault: Option<RobotFault>,
 }
 
 impl OpResult {
+    /// A plan that completed autonomously.
+    pub fn completed(phases: Vec<TimedPhase>) -> Self {
+        OpResult {
+            phases,
+            success: true,
+            escalated: false,
+            outcome: OpOutcome::Completed,
+            fault: None,
+        }
+    }
+
+    /// A plan that ended in a clean request for human support.
+    pub fn escalated(phases: Vec<TimedPhase>) -> Self {
+        OpResult {
+            phases,
+            success: false,
+            escalated: true,
+            outcome: OpOutcome::Escalated,
+            fault: None,
+        }
+    }
+
     /// Total hands-on time.
     pub fn total(&self) -> SimDuration {
         self.phases
@@ -117,6 +214,50 @@ impl OpResult {
             .filter(|p| p.phase == phase)
             .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
     }
+}
+
+/// Run a planned operation through the maintenance-plane fault model:
+/// roll each phase's hazards in order and truncate the plan at the
+/// first fault. The faulted phase is charged a partial duration (the
+/// fault strikes uniformly within it). Outcome classification:
+///
+/// * any fault while the component is exposed → [`OpOutcome::AbortedUnsafe`];
+/// * a freezing fault (stall / unit breakdown) elsewhere → [`OpOutcome::Stalled`];
+/// * any other fault elsewhere → [`OpOutcome::AbortedSafe`] (the robot
+///   backs out and re-inserts).
+///
+/// With hazards disabled this makes no RNG draws and returns the plan
+/// unchanged, so fault-free runs are byte-identical to the
+/// pre-fault-model simulator.
+pub fn afflict(plan: OpResult, cfg: &RobotFaultConfig, rng: &mut Stream) -> OpResult {
+    if !cfg.enabled {
+        return plan;
+    }
+    for (i, p) in plan.phases.iter().enumerate() {
+        let Some(fault) = cfg.sample_phase_fault(p.phase.class(), p.duration, rng) else {
+            continue;
+        };
+        let mut phases: Vec<TimedPhase> = plan.phases[..i].to_vec();
+        phases.push(TimedPhase {
+            phase: p.phase,
+            duration: p.duration.mul_f64(rng.uniform()),
+        });
+        let outcome = if p.phase.component_exposed() {
+            OpOutcome::AbortedUnsafe
+        } else if fault.freezes_unit() {
+            OpOutcome::Stalled
+        } else {
+            OpOutcome::AbortedSafe
+        };
+        return OpResult {
+            phases,
+            success: false,
+            escalated: false,
+            outcome,
+            fault: Some(fault),
+        };
+    }
+    plan
 }
 
 /// Timing calibration for robot operations. Defaults reproduce the
@@ -229,11 +370,7 @@ pub fn run_reseat(
         duration: v.elapsed(),
     });
     if !v.success {
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     phases.push(TimedPhase {
         phase: OpPhase::PartCables,
@@ -253,11 +390,7 @@ pub fn run_reseat(
         }
     }
     if !gripped {
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     for phase in [
         (OpPhase::Extract, t.extract_insert),
@@ -270,11 +403,7 @@ pub fn run_reseat(
             duration: jitter(phase.1, rng),
         });
     }
-    OpResult {
-        phases,
-        success: true,
-        escalated: false,
-    }
+    OpResult::completed(phases)
 }
 
 /// Execute the full cleaning pipeline (Figure 2 robot) against real
@@ -304,11 +433,7 @@ pub fn run_clean(
         duration: v.elapsed(),
     });
     if !v.success {
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     phases.push(TimedPhase {
         phase: OpPhase::DetachCable,
@@ -351,11 +476,7 @@ pub fn run_clean(
     }
     if !clean_enough(end_face) {
         // §3.3.2: request human support.
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     // Reassemble in the controlled environment (minimal recontamination).
     end_face.mate(false, rng);
@@ -367,11 +488,7 @@ pub fn run_clean(
         phase: OpPhase::Verify,
         duration: jitter(t.verify, rng),
     });
-    OpResult {
-        phases,
-        success: true,
-        escalated: false,
-    }
+    OpResult::completed(phases)
 }
 
 /// What a replacement operation swaps.
@@ -411,11 +528,7 @@ pub fn run_replace(
         duration: v.elapsed(),
     });
     if !v.success {
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     phases.push(TimedPhase {
         phase: OpPhase::PartCables,
@@ -434,11 +547,7 @@ pub fn run_replace(
         }
     }
     if !gripped {
-        return OpResult {
-            phases,
-            success: false,
-            escalated: true,
-        };
+        return OpResult::escalated(phases);
     }
     match kind {
         ReplaceKind::Transceiver => {
@@ -460,8 +569,7 @@ pub fn run_replace(
                 phase: OpPhase::DetachCable,
                 duration: jitter(t.detach_reassemble, rng),
             });
-            let routing = t.route_cable_setup
-                + t.route_cable_per_m.mul_f64(route_m.max(1.0));
+            let routing = t.route_cable_setup + t.route_cable_per_m.mul_f64(route_m.max(1.0));
             phases.push(TimedPhase {
                 phase: OpPhase::RouteCable,
                 duration: jitter(routing, rng),
@@ -482,11 +590,7 @@ pub fn run_replace(
         phase: OpPhase::Verify,
         duration: jitter(t.verify, rng),
     });
-    OpResult {
-        phases,
-        success: true,
-        escalated: false,
-    }
+    OpResult::completed(phases)
 }
 
 #[cfg(test)]
@@ -521,7 +625,10 @@ mod tests {
         assert!(xcvr < cable && cable < switch, "{xcvr} {cable} {switch}");
         // Transceiver swap: minutes. Cable re-lay: ~an hour for 12 m.
         assert!(xcvr < 10.0 * 60.0, "xcvr {xcvr}s");
-        assert!((20.0 * 60.0..120.0 * 60.0).contains(&cable), "cable {cable}s");
+        assert!(
+            (20.0 * 60.0..120.0 * 60.0).contains(&cable),
+            "cable {cable}s"
+        );
     }
 
     #[test]
@@ -547,15 +654,7 @@ mod tests {
             ..VisionModel::default()
         };
         let mut r = rng();
-        let res = run_replace(
-            &t,
-            &v,
-            5.0,
-            1.0,
-            1.0,
-            ReplaceKind::Transceiver,
-            &mut r,
-        );
+        let res = run_replace(&t, &v, 5.0, 1.0, 1.0, ReplaceKind::Transceiver, &mut r);
         assert!(res.escalated);
     }
 
@@ -706,5 +805,114 @@ mod tests {
         let res = run_reseat(&t, &v, 5.0, 1.0, 1.0, &mut r);
         assert!(res.escalated);
         assert!(res.total() > SimDuration::from_secs(10));
+    }
+
+    fn one_phase(phase: OpPhase, secs: u64) -> OpResult {
+        OpResult::completed(vec![TimedPhase {
+            phase,
+            duration: SimDuration::from_secs(secs),
+        }])
+    }
+
+    #[test]
+    fn afflict_disabled_is_identity_and_draws_nothing() {
+        let t = OpTimings::default();
+        let v = VisionModel::default();
+        let mut r = rng();
+        let plan = run_reseat(&t, &v, 5.0, 0.0, 0.0, &mut r);
+        let before = plan.total();
+        let mut a = rng();
+        let mut b = rng();
+        let out = afflict(plan, &RobotFaultConfig::default(), &mut a);
+        assert_eq!(out.outcome, OpOutcome::Completed);
+        assert_eq!(out.total(), before);
+        assert_eq!(a.uniform(), b.uniform(), "no draws when disabled");
+    }
+
+    #[test]
+    fn breakdown_outside_exposed_window_stalls() {
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_secs(1), // hazard ≈ 1 over 60 s
+            ..RobotFaultConfig::default()
+        };
+        let mut r = rng();
+        let out = afflict(one_phase(OpPhase::Navigate, 60), &cfg, &mut r);
+        assert_eq!(out.outcome, OpOutcome::Stalled);
+        assert_eq!(out.fault, Some(RobotFault::UnitBreakdown));
+        assert!(!out.success && !out.escalated);
+        assert!(
+            out.total() <= SimDuration::from_secs(60),
+            "partial phase charged"
+        );
+    }
+
+    #[test]
+    fn fault_in_exposed_window_aborts_unsafe() {
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_secs(1),
+            ..RobotFaultConfig::default()
+        };
+        let mut r = rng();
+        let out = afflict(one_phase(OpPhase::Extract, 60), &cfg, &mut r);
+        assert_eq!(out.outcome, OpOutcome::AbortedUnsafe);
+        assert!(out.outcome.is_abort());
+    }
+
+    #[test]
+    fn recoverable_fault_outside_window_aborts_safe() {
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_hours(1_000_000),
+            vision_misid_prob: 1.0,
+            ..RobotFaultConfig::default()
+        };
+        let mut r = rng();
+        let out = afflict(one_phase(OpPhase::Localize, 30), &cfg, &mut r);
+        assert_eq!(out.outcome, OpOutcome::AbortedSafe);
+        assert_eq!(out.fault, Some(RobotFault::VisionMisidentify));
+    }
+
+    #[test]
+    fn afflict_truncates_at_first_fault() {
+        let t = OpTimings::default();
+        let v = VisionModel::default();
+        let cfg = RobotFaultConfig::chaos();
+        let mut r = rng();
+        for _ in 0..200 {
+            let plan = run_reseat(&t, &v, 5.0, 0.2, 0.2, &mut r);
+            let planned = plan.phases.len();
+            let planned_total = plan.total();
+            let out = afflict(plan, &cfg, &mut r);
+            assert!(out.phases.len() <= planned);
+            assert!(out.total() <= planned_total);
+            if out.fault.is_some() {
+                assert_ne!(out.outcome, OpOutcome::Completed);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_classes_cover_exposure_semantics() {
+        // Exposed phases are exactly the extract→insert/swap window.
+        for p in [
+            OpPhase::Extract,
+            OpPhase::Dwell,
+            OpPhase::Insert,
+            OpPhase::SwapHardware,
+        ] {
+            assert!(p.component_exposed(), "{:?}", p);
+        }
+        for p in [
+            OpPhase::Navigate,
+            OpPhase::Localize,
+            OpPhase::Verify,
+            OpPhase::CleanDry,
+        ] {
+            assert!(!p.component_exposed(), "{:?}", p);
+        }
+        assert_eq!(OpPhase::Grip.class(), RobotPhaseClass::Grip);
+        assert_eq!(OpPhase::SwapHardware.class(), RobotPhaseClass::Magazine);
     }
 }

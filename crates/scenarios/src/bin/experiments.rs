@@ -5,6 +5,7 @@
 //!   experiments            # all experiments, text tables
 //!   experiments --csv      # all experiments, CSV blocks
 //!   experiments e4 e8      # a subset
+//!   experiments e14 --quick  # CI-sized E14 (determinism check)
 //!
 //! A fixed seed (2024) makes the output byte-reproducible.
 
@@ -25,6 +26,7 @@ fn emit(t: &Table, csv: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let quick = args.iter().any(|a| a == "--quick");
     let picks: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -75,7 +77,10 @@ fn main() {
     if want("e11") {
         let out = exp::e11::run_experiment(&exp::e11::E11Params::full(SEED));
         emit(&exp::e11::table(&out), csv);
-        emit(&exp::e11::weights_table(&exp::e11::E11Params::full(SEED)), csv);
+        emit(
+            &exp::e11::weights_table(&exp::e11::E11Params::full(SEED)),
+            csv,
+        );
     }
     if want("e12") {
         let rows = exp::e12::run_experiment(&exp::e12::E12Params::full(SEED));
@@ -84,6 +89,15 @@ fn main() {
     if want("e13") {
         let rows = exp::e13::run_experiment(&exp::e13::E13Params::full(SEED));
         emit(&exp::e13::table(&rows), csv);
+    }
+    if want("e14") {
+        let p = if quick {
+            exp::e14::E14Params::quick(SEED)
+        } else {
+            exp::e14::E14Params::full(SEED)
+        };
+        let rows = exp::e14::run_experiment(&p);
+        emit(&exp::e14::table(&rows), csv);
     }
     if want("a1") || want("a2") || want("a3") {
         let p = exp::ablations::AblationParams::full(SEED);

@@ -8,11 +8,11 @@
 use dcmaint_dcnet::gen;
 use dcmaint_dcnet::{DiversityProfile, Topology};
 use dcmaint_des::{SimDuration, SimRng};
-use dcmaint_faults::{Environment, FaultConfig};
+use dcmaint_faults::{Environment, FaultConfig, RobotFaultConfig};
 use dcmaint_metrics::CostModel;
 use dcmaint_robotics::FleetConfig;
 use dcmaint_tickets::TechConfig;
-use maintctl::{AutomationLevel, ControllerConfig};
+use maintctl::{AutomationLevel, ControllerConfig, RecoveryPolicy};
 
 /// Which fabric to build.
 #[derive(Debug, Clone)]
@@ -127,6 +127,15 @@ pub struct ScenarioConfig {
     /// co-design). Disabling it is the A1 ablation: hardware gets
     /// touched hot.
     pub coordinate_drains: bool,
+    /// Maintenance-plane fault injection: robot hazards, telemetry
+    /// dropout, dispatch-message loss. Disabled by default — and a
+    /// disabled config makes zero RNG draws, so fault-free runs are
+    /// byte-identical to the pre-fault-model engine.
+    pub robot_faults: RobotFaultConfig,
+    /// Controller-side recovery: watchdogs, retry backoff, and the
+    /// degradation ladder down to humans. `recovery.enabled = false` is
+    /// the E14 ablation — failed robot work is simply abandoned.
+    pub recovery: RecoveryPolicy,
 }
 
 /// One scripted incident for failure-injection runs.
@@ -173,6 +182,8 @@ impl ScenarioConfig {
             scripted: Vec::new(),
             organic_faults: true,
             coordinate_drains: true,
+            robot_faults: RobotFaultConfig::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -207,10 +218,22 @@ mod tests {
 
     #[test]
     fn level_presets_deploy_robots() {
-        assert_eq!(ScenarioConfig::at_level(1, AutomationLevel::L0).robots_per_row, 0);
-        assert_eq!(ScenarioConfig::at_level(1, AutomationLevel::L1).robots_per_row, 0);
-        assert_eq!(ScenarioConfig::at_level(1, AutomationLevel::L2).robots_per_row, 1);
-        assert_eq!(ScenarioConfig::at_level(1, AutomationLevel::L4).robots_per_row, 1);
+        assert_eq!(
+            ScenarioConfig::at_level(1, AutomationLevel::L0).robots_per_row,
+            0
+        );
+        assert_eq!(
+            ScenarioConfig::at_level(1, AutomationLevel::L1).robots_per_row,
+            0
+        );
+        assert_eq!(
+            ScenarioConfig::at_level(1, AutomationLevel::L2).robots_per_row,
+            1
+        );
+        assert_eq!(
+            ScenarioConfig::at_level(1, AutomationLevel::L4).robots_per_row,
+            1
+        );
     }
 
     #[test]

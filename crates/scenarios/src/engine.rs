@@ -33,25 +33,25 @@
 use std::collections::HashMap;
 
 use dcmaint_dcnet::routing::pair_connectivity;
-use dcmaint_dcnet::{
-    AdminState, LinkHealth, LinkId, NetState, NodeId, RackLoc, Topology,
-};
+use dcmaint_dcnet::{AdminState, LinkHealth, LinkId, NetState, NodeId, RackLoc, Topology};
 use dcmaint_des::{Fired, Scheduler, SimDuration, SimRng, SimTime, Stream};
+use dcmaint_faults::EndFace;
 use dcmaint_faults::{
-    diurnal_utilization, disturb, ActorProfile, DisturbanceEffect, FaultInjector, FlapProcess,
+    disturb, diurnal_utilization, ActorProfile, DisturbanceEffect, FaultInjector, FlapProcess,
     RepairAction, RootCause,
 };
 use dcmaint_metrics::{CostLedger, FleetAvailability, HardwareKind};
-use dcmaint_robotics::{run_clean, run_replace, run_reseat, ReplaceKind, RobotFleet};
+use dcmaint_robotics::{
+    afflict, run_clean, run_replace, run_reseat, OpOutcome, ReplaceKind, RobotFleet, UnitHealth,
+};
+use dcmaint_telemetry::{extract, AlertKind, TelemetryPlane, FEATURE_DIM};
 use dcmaint_tickets::{
     AttemptRecord, Priority, TechnicianPool, TicketBoard, TicketId, TicketState, TicketTrigger,
 };
-use dcmaint_telemetry::{extract, AlertKind, TelemetryPlane, FEATURE_DIM};
 use maintctl::{
-    DrainDecision, Executor, MaintenanceController, PreContactAnnouncement, SafetyConfig,
-    ZoneActor, ZoneLedger,
+    ClaimId, DrainDecision, Executor, MaintenanceController, PreContactAnnouncement, RecoveryState,
+    RecoveryStep, SafetyConfig, ZoneActor, ZoneLedger,
 };
-use dcmaint_faults::EndFace;
 
 use crate::config::ScenarioConfig;
 use crate::report::{ActionStats, RunReport};
@@ -93,6 +93,17 @@ enum Ev {
         flagged: bool,
         incidents_before: u64,
     },
+    /// A robot operation physically freezes mid-work (actuator stall or
+    /// whole-unit breakdown). Nothing is announced to the controller —
+    /// only the watchdog notices later. `attempt` guards against acting
+    /// on a superseded booking of the same ticket.
+    OpStalled { ticket: TicketId, attempt: u64 },
+    /// A robot operation aborts: safe back-out or unsafe half-extract.
+    OpAborted { ticket: TicketId, attempt: u64 },
+    /// The per-operation watchdog deadline expires.
+    WatchdogFired { ticket: TicketId, attempt: u64 },
+    /// A broken-down robot unit's repair completes.
+    RobotRecovered { unit: usize },
 }
 
 /// Active incident on a link (hidden from policy).
@@ -139,11 +150,23 @@ struct ActiveRepair {
     executor: Executor,
     announcement: Option<PreContactAnnouncement>,
     robot_unit: Option<usize>,
-    hands_on: SimDuration,
     /// Robot op already determined to escalate to a human.
     robot_escalated: bool,
     /// Pre-sampled: will the human botch this action?
     human_botched: bool,
+    /// Pre-simulated physical outcome (humans always `Completed`; the
+    /// controller does not see this — it only observes the events the
+    /// outcome produces, or their absence).
+    outcome: OpOutcome,
+    /// The operation's completion/escalation report was lost in
+    /// transit; only the watchdog recovers it.
+    lost: bool,
+    /// Safety-zone claim held for the hands-on window.
+    claim: ClaimId,
+    /// Monotone booking id; stale per-attempt events are ignored.
+    attempt: u64,
+    /// Scheduled hands-on start.
+    start: SimTime,
 }
 
 /// The engine. Construct via [`run`]; exposed for the integration tests
@@ -170,6 +193,18 @@ pub struct Engine {
     causes: Stream,
     outcomes: Stream,
     ops: Stream,
+    /// Maintenance-plane fault draws (robot hazards, dropout, message
+    /// loss). A fresh stream so enabling faults never perturbs the
+    /// draws of the pre-existing processes.
+    faults_rng: Stream,
+    /// Recovery-side draws (backoff jitter).
+    recovery_rng: Stream,
+    // Recovery plumbing.
+    attempt_seq: u64,
+    recovery_state: HashMap<TicketId, RecoveryState>,
+    exclude_unit: HashMap<TicketId, usize>,
+    forced_human: std::collections::HashSet<TicketId>,
+    recovery_queue: Vec<TicketId>,
     // Report counters.
     incidents: u64,
     cascade_incidents: u64,
@@ -190,6 +225,18 @@ pub struct Engine {
     attempts_per_fix: Vec<u32>,
     fixed_attempts_by_ticket: HashMap<TicketId, bool>,
     defer_counts: HashMap<TicketId, u32>,
+    // Robustness counters (all zero with faults disabled).
+    op_stalls: u64,
+    op_aborts_safe: u64,
+    op_aborts_unsafe: u64,
+    watchdog_fires: u64,
+    robot_retries: u64,
+    robot_reassigns: u64,
+    robot_recoveries: u64,
+    telemetry_dropouts: u64,
+    dispatch_msgs_lost: u64,
+    ports_flagged: u64,
+    recovery_queued: u64,
 }
 
 /// Run a scenario to completion and produce its report.
@@ -245,6 +292,13 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         causes: rng.stream("engine-causes", 0),
         outcomes: rng.stream("engine-outcomes", 0),
         ops: rng.stream("engine-ops", 0),
+        faults_rng: rng.stream("robot-faults", 0),
+        recovery_rng: rng.stream("recovery", 0),
+        attempt_seq: 0,
+        recovery_state: HashMap::new(),
+        exclude_unit: HashMap::new(),
+        forced_human: std::collections::HashSet::new(),
+        recovery_queue: Vec::new(),
         avail: FleetAvailability::new(SimTime::ZERO),
         costs: CostLedger::new(),
         zones: ZoneLedger::new(SafetyConfig::default()),
@@ -280,6 +334,17 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         attempts_per_fix: Vec::new(),
         fixed_attempts_by_ticket: HashMap::new(),
         defer_counts: HashMap::new(),
+        op_stalls: 0,
+        op_aborts_safe: 0,
+        op_aborts_unsafe: 0,
+        watchdog_fires: 0,
+        robot_retries: 0,
+        robot_reassigns: 0,
+        robot_recoveries: 0,
+        telemetry_dropouts: 0,
+        dispatch_msgs_lost: 0,
+        ports_flagged: 0,
+        recovery_queued: 0,
     };
     eng.execute()
 }
@@ -346,6 +411,10 @@ impl Engine {
                 flagged,
                 incidents_before,
             } => self.on_predictive_label(link, features, flagged, incidents_before),
+            Ev::OpStalled { ticket, attempt } => self.on_op_stalled(ticket, attempt, now),
+            Ev::OpAborted { ticket, attempt } => self.on_op_aborted(ticket, attempt, now, sched),
+            Ev::WatchdogFired { ticket, attempt } => self.on_watchdog(ticket, attempt, now, sched),
+            Ev::RobotRecovered { unit } => self.on_robot_recovered(unit, now, sched),
         }
     }
 
@@ -547,6 +616,17 @@ impl Engine {
 
     fn on_poll(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         sched.schedule_in(self.cfg.poll_period, Ev::Poll);
+        // Telemetry dropout: the whole poll cycle is lost — counters
+        // don't advance and no alerts fire until the next cycle. (Zero
+        // draws when the fault model is disabled.)
+        if self
+            .cfg
+            .robot_faults
+            .telemetry_dropped(&mut self.faults_rng)
+        {
+            self.telemetry_dropouts += 1;
+            return;
+        }
         let alerts = self.telemetry.sample(&self.topo, &self.state, now);
         for alert in alerts {
             let trigger = match alert.kind {
@@ -621,7 +701,11 @@ impl Engine {
         if cfg_ctl.trough_scheduling
             && self.board.get(ticket).priority == Priority::P2
             && diurnal_utilization(now) >= cfg_ctl.trough_gate
-            && self.state.link(self.board.get(ticket).link).health.carries_traffic()
+            && self
+                .state
+                .link(self.board.get(ticket).link)
+                .health
+                .carries_traffic()
             && !self.trough_deferred.contains(&ticket)
         {
             let gate = cfg_ctl.trough_gate;
@@ -648,7 +732,12 @@ impl Engine {
             Some(&a) if a.applicable(medium) => a,
             _ => self.controller.decide_action(medium, &recent),
         };
-        let executor = self.controller.executor_for(action);
+        let mut executor = self.controller.executor_for(action);
+        // The recovery ladder's human rung (and §3.4's flagged-port
+        // rule after an unsafe abort): this ticket is humans-only now.
+        if self.forced_human.contains(&ticket) {
+            executor = Executor::Human;
+        }
         let expected = self.estimate_duration(action, executor);
         if !self.cfg.coordinate_drains {
             // A1 ablation: no cross-layer coordination — book the actor
@@ -688,7 +777,15 @@ impl Engine {
             }
             DrainDecision::Proceed(ann) => ann,
         };
-        self.book_executor(ticket, link, action, executor, Some(announcement), now, sched);
+        self.book_executor(
+            ticket,
+            link,
+            action,
+            executor,
+            Some(announcement),
+            now,
+            sched,
+        );
     }
 
     /// A1-ablation path: no drain planning, no announcement.
@@ -725,108 +822,145 @@ impl Engine {
         let priority = self.board.get(ticket).priority;
         let diversity = self.topo.diversity.index();
         let density = self.density_of(link);
-        let (start, hands_on, robot_unit, robot_escalated, human_botched) = match executor {
-            Executor::Human | Executor::HumanWithDevice => {
-                let mut dur = self.techs.action_duration(action);
-                if executor == Executor::HumanWithDevice && action == RepairAction::CleanEndFace {
-                    // The Level-1 cleaning unit on the bench: the robot
-                    // does the inspect/clean cycle while the technician
-                    // handles transport — roughly half the manual time.
-                    dur = dur.mul_f64(0.5);
+        let (start, hands_on, robot_unit, robot_escalated, human_botched, outcome, planned) =
+            match executor {
+                Executor::Human | Executor::HumanWithDevice => {
+                    let mut dur = self.techs.action_duration(action);
+                    if executor == Executor::HumanWithDevice && action == RepairAction::CleanEndFace
+                    {
+                        // The Level-1 cleaning unit on the bench: the robot
+                        // does the inspect/clean cycle while the technician
+                        // handles transport — roughly half the manual time.
+                        dur = dur.mul_f64(0.5);
+                    }
+                    let a = self.techs.assign(now, priority, walk_m, dur);
+                    let botched = self.techs.botched();
+                    self.tech_time += dur + SimDuration::from_secs_f64(walk_m);
+                    self.costs.charge_technician(
+                        &self.cfg.costs,
+                        dur + SimDuration::from_secs_f64(walk_m),
+                    );
+                    (
+                        a.start,
+                        dur,
+                        None,
+                        false,
+                        botched,
+                        OpOutcome::Completed,
+                        Vec::new(),
+                    )
                 }
-                let a = self.techs.assign(now, priority, walk_m, dur);
-                let botched = self.techs.botched();
-                self.tech_time += dur + SimDuration::from_secs_f64(walk_m);
-                self.costs
-                    .charge_technician(&self.cfg.costs, dur + SimDuration::from_secs_f64(walk_m));
-                (a.start, dur, None, false, botched)
-            }
-            Executor::SupervisedRobot | Executor::AutonomousRobot => {
-                // Run the op plan now to get its hands-on duration and
-                // whether the robot will escalate; travel is charged by
-                // the fleet from the chosen unit's actual distance.
-                let travel_row_m = 0.0;
-                let op = match action {
-                    RepairAction::CleanEndFace => {
-                        let cores = medium.cores().max(2);
-                        let cause_dirty = self.links_rt[link.index()]
-                            .incident
-                            .as_ref()
-                            .map(|i| i.cause == RootCause::DirtyEndFace)
-                            .unwrap_or(false);
-                        let exposure = if cause_dirty { 0.9 } else { 0.25 };
-                        let mut ef =
-                            EndFace::contaminated(cores, exposure, &mut self.ops);
-                        run_clean(
+                Executor::SupervisedRobot | Executor::AutonomousRobot => {
+                    // Run the op plan now to get its hands-on duration and
+                    // whether the robot will escalate; travel is charged by
+                    // the fleet from the chosen unit's actual distance.
+                    let travel_row_m = 0.0;
+                    let op = match action {
+                        RepairAction::CleanEndFace => {
+                            let cores = medium.cores().max(2);
+                            let cause_dirty = self.links_rt[link.index()]
+                                .incident
+                                .as_ref()
+                                .map(|i| i.cause == RootCause::DirtyEndFace)
+                                .unwrap_or(false);
+                            let exposure = if cause_dirty { 0.9 } else { 0.25 };
+                            let mut ef = EndFace::contaminated(cores, exposure, &mut self.ops);
+                            run_clean(
+                                &self.fleet.timings,
+                                &self.fleet.vision,
+                                travel_row_m,
+                                diversity,
+                                density,
+                                &mut ef,
+                                &mut self.ops,
+                            )
+                        }
+                        RepairAction::Reseat => run_reseat(
                             &self.fleet.timings,
                             &self.fleet.vision,
                             travel_row_m,
                             diversity,
                             density,
-                            &mut ef,
                             &mut self.ops,
-                        )
-                    }
-                    RepairAction::Reseat => run_reseat(
-                        &self.fleet.timings,
-                        &self.fleet.vision,
-                        travel_row_m,
-                        diversity,
-                        density,
-                        &mut self.ops,
-                    ),
-                    RepairAction::ReplaceTransceiver
-                    | RepairAction::ReplaceCable
-                    | RepairAction::ReplaceSwitchHardware => {
-                        let kind = match action {
-                            RepairAction::ReplaceTransceiver => ReplaceKind::Transceiver,
-                            RepairAction::ReplaceCable => ReplaceKind::Cable {
-                                route_m: self.topo.link(link).cable.length_m,
-                            },
-                            _ => ReplaceKind::SwitchHardware,
-                        };
-                        run_replace(
-                            &self.fleet.timings,
-                            &self.fleet.vision,
-                            travel_row_m,
-                            diversity,
-                            density,
-                            kind,
-                            &mut self.ops,
-                        )
-                    }
-                };
-                let dur = op.total();
-                match self
-                    .fleet
-                    .assign(&self.topo.layout, now, rack, dur)
-                {
-                    Some(a) => {
-                        let mut start = a.start;
-                        let dur = a.total; // travel + hands-on
-                        // Level 2: a human supervisor is reserved for the
-                        // whole operation (remote station; no walk).
-                        if executor == Executor::SupervisedRobot {
-                            let sup = self.techs.assign(now, priority, 0.0, dur);
-                            start = start.max(sup.start);
+                        ),
+                        RepairAction::ReplaceTransceiver
+                        | RepairAction::ReplaceCable
+                        | RepairAction::ReplaceSwitchHardware => {
+                            let kind = match action {
+                                RepairAction::ReplaceTransceiver => ReplaceKind::Transceiver,
+                                RepairAction::ReplaceCable => ReplaceKind::Cable {
+                                    route_m: self.topo.link(link).cable.length_m,
+                                },
+                                _ => ReplaceKind::SwitchHardware,
+                            };
+                            run_replace(
+                                &self.fleet.timings,
+                                &self.fleet.vision,
+                                travel_row_m,
+                                diversity,
+                                density,
+                                kind,
+                                &mut self.ops,
+                            )
+                        }
+                    };
+                    // Planned phase durations feed the watchdog deadline —
+                    // the controller knows the plan, never the outcome.
+                    let planned: Vec<SimDuration> = op.phases.iter().map(|p| p.duration).collect();
+                    // Roll the maintenance-plane hazards: the plan may
+                    // truncate into a stall or an abort. Zero draws (and an
+                    // unchanged plan) when the fault model is disabled.
+                    let op = afflict(op, &self.cfg.robot_faults, &mut self.faults_rng);
+                    let dur = op.total();
+                    let exclude = self.exclude_unit.get(&ticket).copied();
+                    // Frozen units are skipped inside the fleet's assignment
+                    // loop itself; a fully-frozen fleet yields None here.
+                    let booking =
+                        self.fleet
+                            .assign_excluding(&self.topo.layout, now, rack, dur, exclude);
+                    match booking {
+                        Some(a) => {
+                            let mut start = a.start;
+                            let dur = a.total; // travel + hands-on
+                                               // Level 2: a human supervisor is reserved for the
+                                               // whole operation (remote station; no walk).
+                            if executor == Executor::SupervisedRobot {
+                                let sup = self.techs.assign(now, priority, 0.0, dur);
+                                start = start.max(sup.start);
+                                self.tech_time += dur;
+                                self.costs.charge_technician(&self.cfg.costs, dur);
+                            }
+                            self.costs.charge_robot(&self.cfg.costs, dur);
+                            (
+                                start,
+                                dur,
+                                Some(a.unit),
+                                op.escalated,
+                                false,
+                                op.outcome,
+                                planned,
+                            )
+                        }
+                        None => {
+                            // No robot can reach this rack: human fallback.
+                            let dur = self.techs.action_duration(action);
+                            let a = self.techs.assign(now, priority, walk_m, dur);
+                            let botched = self.techs.botched();
                             self.tech_time += dur;
                             self.costs.charge_technician(&self.cfg.costs, dur);
+                            (
+                                a.start,
+                                dur,
+                                None,
+                                false,
+                                botched,
+                                OpOutcome::Completed,
+                                Vec::new(),
+                            )
                         }
-                        self.costs.charge_robot(&self.cfg.costs, dur);
-                        (start, dur, Some(a.unit), op.escalated, false)
-                    }
-                    None => {
-                        // No robot can reach this rack: human fallback.
-                        let dur = self.techs.action_duration(action);
-                        let a = self.techs.assign(now, priority, walk_m, dur);
-                        let botched = self.techs.botched();
-                        self.tech_time += dur;
-                        self.costs.charge_technician(&self.cfg.costs, dur);
-                        (a.start, dur, None, false, botched)
                     }
                 }
-            }
-        };
+            };
         // §3.4 safety interlock: humans and robots may not share an
         // exclusion zone. The booking may slip to the zone's next clear
         // window (the booked actor idles through the conflict).
@@ -834,7 +968,20 @@ impl Engine {
             Executor::Human | Executor::HumanWithDevice => ZoneActor::Human,
             Executor::SupervisedRobot | Executor::AutonomousRobot => ZoneActor::Robot,
         };
-        let start = self.zones.reserve(actor_kind, rack, now, start, hands_on);
+        let (start, claim) = self
+            .zones
+            .reserve_claim(actor_kind, rack, now, start, hands_on);
+        let attempt = self.attempt_seq;
+        self.attempt_seq += 1;
+        // A finished robot op's completion report can be lost in
+        // transit; the ticket then hangs until the watchdog queries the
+        // unit. (No draw for human work or when faults are disabled.)
+        let lost = robot_unit.is_some()
+            && matches!(outcome, OpOutcome::Completed | OpOutcome::Escalated)
+            && self.cfg.robot_faults.dispatch_lost(&mut self.faults_rng);
+        if lost {
+            self.dispatch_msgs_lost += 1;
+        }
         self.active.insert(
             ticket,
             ActiveRepair {
@@ -843,14 +990,44 @@ impl Engine {
                 executor,
                 announcement,
                 robot_unit,
-                hands_on,
                 robot_escalated,
                 human_botched,
+                outcome,
+                lost,
+                claim,
+                attempt,
+                start,
             },
         );
         self.board.set_state(ticket, TicketState::Dispatched);
         sched.schedule(start, Ev::RepairStart { ticket });
-        sched.schedule(start + hands_on, Ev::RepairDone { ticket });
+        match outcome {
+            OpOutcome::Stalled => {
+                self.op_stalls += 1;
+                sched.schedule(start + hands_on, Ev::OpStalled { ticket, attempt });
+            }
+            OpOutcome::AbortedSafe | OpOutcome::AbortedUnsafe => {
+                if outcome == OpOutcome::AbortedSafe {
+                    self.op_aborts_safe += 1;
+                } else {
+                    self.op_aborts_unsafe += 1;
+                }
+                sched.schedule(start + hands_on, Ev::OpAborted { ticket, attempt });
+            }
+            OpOutcome::Completed | OpOutcome::Escalated => {
+                if !lost {
+                    sched.schedule(start + hands_on, Ev::RepairDone { ticket });
+                }
+            }
+        }
+        // Arm the per-operation watchdog: deadline from the *planned*
+        // phase durations (plus slack over the actual booking, so a
+        // healthy completion always reports first).
+        if robot_unit.is_some() && self.cfg.robot_faults.enabled && self.cfg.recovery.enabled {
+            let wd = self.cfg.recovery.watchdog.deadline(&planned).max(hands_on)
+                + self.cfg.recovery.watchdog.min_slack;
+            sched.schedule(start + wd, Ev::WatchdogFired { ticket, attempt });
+        }
     }
 
     fn actor_profile(executor: Executor) -> ActorProfile {
@@ -872,12 +1049,19 @@ impl Engine {
         // inspects, finds nothing).
         let trigger = self.board.get(ticket).trigger;
         if trigger.is_reactive() && self.links_rt[link.index()].incident.is_none() {
-            self.active.remove(&ticket);
+            if let Some(r) = self.active.remove(&ticket) {
+                self.zones.release(r.claim, now);
+            }
             self.board.close(ticket, now, true);
+            self.forget_ticket(ticket);
             return;
         }
         // Apply the pre-announced drain.
-        if let Some(ann) = self.active.get(&ticket).and_then(|r| r.announcement.clone()) {
+        if let Some(ann) = self
+            .active
+            .get(&ticket)
+            .and_then(|r| r.announcement.clone())
+        {
             maintctl::drain::apply(&mut self.state, &ann);
             for &l in &ann.drained {
                 self.update_availability(l, now);
@@ -924,10 +1108,13 @@ impl Engine {
         let link = repair.link;
         // Release the drain, charging its capacity impact: drained
         // link-hours weighted by the utilization at the window midpoint.
+        // (The window runs from the scheduled start — for a recovered
+        // lost-dispatch it is longer than the hands-on time.)
         if let Some(ann) = &repair.announcement {
-            let mid = now - repair.hands_on / 2;
+            let drained_for = now.since(repair.start);
+            let mid = now - drained_for / 2;
             let util = diurnal_utilization(mid);
-            let impact = util * repair.hands_on.as_hours_f64() * ann.drained.len() as f64;
+            let impact = util * drained_for.as_hours_f64() * ann.drained.len() as f64;
             self.drain_capacity_impact += impact;
             if self.board.get(ticket).trigger == TicketTrigger::Proactive {
                 self.campaign_drain_impact += impact;
@@ -937,6 +1124,7 @@ impl Engine {
                 self.update_availability(l, now);
             }
         }
+        self.zones.release(repair.claim, now);
         let medium = self.topo.link(link).cable.medium;
         let robotic = repair.robot_unit.is_some();
         // Robot breakdown roll.
@@ -955,7 +1143,7 @@ impl Engine {
                 ticket,
                 AttemptRecord {
                     action: repair.action,
-                    started: now - repair.hands_on,
+                    started: repair.start,
                     finished: now,
                     fixed: false,
                     robotic: true,
@@ -965,17 +1153,21 @@ impl Engine {
             // Force human execution by re-dispatching at a level-0 view:
             // simplest honest model — book a technician directly.
             let dur = self.techs.action_duration(repair.action);
-            let walk_m = self.topo.layout.walk_distance_m(
-                RackLoc { row: 0, col: 0 },
-                self.rack_of(link),
-            );
+            let walk_m = self
+                .topo
+                .layout
+                .walk_distance_m(RackLoc { row: 0, col: 0 }, self.rack_of(link));
             let priority = self.board.get(ticket).priority;
             let a = self.techs.assign(now, priority, walk_m, dur);
             let botched = self.techs.botched();
             self.tech_time += dur;
             self.costs.charge_technician(&self.cfg.costs, dur);
             let rack = self.rack_of(link);
-            let start = self.zones.reserve(ZoneActor::Human, rack, now, a.start, dur);
+            let (start, claim) =
+                self.zones
+                    .reserve_claim(ZoneActor::Human, rack, now, a.start, dur);
+            let attempt = self.attempt_seq;
+            self.attempt_seq += 1;
             self.active.insert(
                 ticket,
                 ActiveRepair {
@@ -984,9 +1176,13 @@ impl Engine {
                     executor: Executor::Human,
                     announcement: repair.announcement,
                     robot_unit: None,
-                    hands_on: dur,
                     robot_escalated: false,
                     human_botched: botched,
+                    outcome: OpOutcome::Completed,
+                    lost: false,
+                    claim,
+                    attempt,
+                    start,
                 },
             );
             sched.schedule(start, Ev::RepairStart { ticket });
@@ -995,7 +1191,10 @@ impl Engine {
         }
         // Resolve the repair outcome.
         let mut fixed = false;
-        let cause = self.links_rt[link.index()].incident.as_ref().map(|i| i.cause);
+        let cause = self.links_rt[link.index()]
+            .incident
+            .as_ref()
+            .map(|i| i.cause);
         if let Some(cause) = cause {
             if !repair.human_botched {
                 fixed = repair.action.attempt(cause, medium, &mut self.outcomes);
@@ -1007,10 +1206,7 @@ impl Engine {
         if let Some(latent) = self.links_rt[link.index()].pending_latent {
             // Maintenance can clear a latent fault before it manifests:
             // that is the entire proactive-value mechanism.
-            if self
-                .outcomes
-                .chance(repair.action.efficacy(latent, medium))
-            {
+            if self.outcomes.chance(repair.action.efficacy(latent, medium)) {
                 self.links_rt[link.index()].pending_latent = None;
             }
         }
@@ -1072,7 +1268,7 @@ impl Engine {
             ticket,
             AttemptRecord {
                 action: repair.action,
-                started: now - repair.hands_on,
+                started: repair.start,
                 finished: now,
                 fixed,
                 robotic,
@@ -1111,10 +1307,251 @@ impl Engine {
                 .push(self.board.get(ticket).attempt_count() as u32);
         }
         self.board.close(ticket, now, spurious);
+        self.forget_ticket(ticket);
+        self.telemetry.on_maintenance(link, now);
+    }
+
+    /// Drop all per-ticket bookkeeping after a close.
+    fn forget_ticket(&mut self, ticket: TicketId) {
         self.forced_action.remove(&ticket);
         self.defer_counts.remove(&ticket);
         self.trough_deferred.remove(&ticket);
-        self.telemetry.on_maintenance(link, now);
+        self.recovery_state.remove(&ticket);
+        self.exclude_unit.remove(&ticket);
+        self.forced_human.remove(&ticket);
+    }
+
+    // ----- maintenance-plane fault handling ---------------------------
+
+    /// Release everything an operation physically held: its drain
+    /// (charging the capacity actually consumed) and its safety-zone
+    /// claim. The abort/stall invariant — a failed operation never
+    /// leaks either — funnels through here.
+    fn release_worksite(&mut self, repair: &ActiveRepair, now: SimTime) {
+        if let Some(ann) = &repair.announcement {
+            let drained_for = now.since(repair.start);
+            let util = diurnal_utilization(now - drained_for / 2);
+            self.drain_capacity_impact +=
+                util * drained_for.as_hours_f64() * ann.drained.len() as f64;
+            maintctl::drain::release(&mut self.state, ann);
+            for &l in &ann.drained {
+                self.update_availability(l, now);
+            }
+        }
+        self.zones.release(repair.claim, now);
+    }
+
+    /// Book-keep a robot attempt that failed without a completion
+    /// report (stall or abort).
+    fn record_failed_attempt(&mut self, ticket: TicketId, repair: &ActiveRepair, now: SimTime) {
+        let st = self.actions.entry(repair.action).or_default();
+        st.attempts += 1;
+        st.robotic += 1;
+        self.board.record_attempt(
+            ticket,
+            AttemptRecord {
+                action: repair.action,
+                started: repair.start,
+                finished: now,
+                fixed: false,
+                robotic: true,
+            },
+        );
+    }
+
+    /// An unsafe abort leaves the component half-extracted: the link is
+    /// physically down until someone reseats it, regardless of what was
+    /// (or wasn't) wrong before.
+    fn force_link_down(&mut self, link: LinkId, now: SimTime) {
+        let fresh = self.links_rt[link.index()].incident.is_none();
+        if fresh {
+            self.incidents += 1;
+        }
+        let _ = self.bump_epoch(link); // invalidate self-heal/flap events
+        let rt = &mut self.links_rt[link.index()];
+        match rt.incident.as_mut() {
+            Some(inc) => {
+                inc.health = LinkHealth::Down;
+                inc.loss = 1.0;
+            }
+            None => {
+                // A reseat (full re-insert + power cycle) restores it —
+                // mechanically the same signature as a firmware hang.
+                rt.incident = Some(ActiveIncident {
+                    cause: RootCause::FirmwareHang,
+                    health: LinkHealth::Down,
+                    loss: 1.0,
+                });
+            }
+        }
+        rt.flap = None;
+        self.recompute_link(link, now);
+    }
+
+    fn on_op_stalled(&mut self, ticket: TicketId, attempt: u64, now: SimTime) {
+        let Some(repair) = self.active.get(&ticket) else {
+            return;
+        };
+        if repair.attempt != attempt {
+            return;
+        }
+        // The unit freezes on the spot: it accepts no further work and
+        // announces nothing. Detection is the watchdog's job.
+        if let Some(unit) = repair.robot_unit {
+            self.fleet.freeze(unit, now);
+        }
+    }
+
+    fn on_op_aborted(
+        &mut self,
+        ticket: TicketId,
+        attempt: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        match self.active.get(&ticket) {
+            Some(r) if r.attempt == attempt => {}
+            _ => return,
+        }
+        let repair = self.active.remove(&ticket).expect("checked above");
+        // The robot backs out (or is pulled out): worksite released
+        // unconditionally — aborts never leak a drain or a zone claim,
+        // with or without recovery.
+        self.release_worksite(&repair, now);
+        if let Some(unit) = repair.robot_unit {
+            self.fleet.mark_degraded(unit);
+        }
+        self.record_failed_attempt(ticket, &repair, now);
+        if repair.outcome == OpOutcome::AbortedUnsafe {
+            // §3.4: half-extracted component — flag the port; only a
+            // human may touch it next.
+            self.ports_flagged += 1;
+            self.force_link_down(repair.link, now);
+            self.forced_human.insert(ticket);
+        }
+        self.recover(ticket, &repair, now, sched);
+    }
+
+    fn on_watchdog(
+        &mut self,
+        ticket: TicketId,
+        attempt: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        match self.active.get(&ticket) {
+            Some(r) if r.attempt == attempt => {}
+            _ => return, // completed/aborted/superseded — timer disarmed
+        }
+        match self.active.get(&ticket).map(|r| r.outcome) {
+            Some(OpOutcome::Completed) | Some(OpOutcome::Escalated)
+                if self.active.get(&ticket).is_some_and(|r| r.lost) =>
+            {
+                // The op finished but its report was lost: the watchdog
+                // queries the unit and recovers the result late.
+                self.watchdog_fires += 1;
+                if let Some(r) = self.active.get_mut(&ticket) {
+                    r.lost = false;
+                }
+                sched.schedule_now(Ev::RepairDone { ticket });
+            }
+            Some(OpOutcome::Stalled) => {
+                // Declare the operation dead: free the worksite, send
+                // the unit to repair, and climb the recovery ladder.
+                self.watchdog_fires += 1;
+                let repair = self.active.remove(&ticket).expect("checked above");
+                self.release_worksite(&repair, now);
+                if let Some(unit) = repair.robot_unit {
+                    let repair_for = self.fleet.mark_down(unit, now);
+                    sched.schedule_in(repair_for, Ev::RobotRecovered { unit });
+                }
+                self.record_failed_attempt(ticket, &repair, now);
+                self.recover(ticket, &repair, now, sched);
+            }
+            _ => {}
+        }
+    }
+
+    /// Climb the degradation ladder after a failed robot attempt:
+    /// retry the same unit (with backoff) → reassign to another unit →
+    /// hand the ticket to a human → park it until the fleet recovers.
+    /// With recovery disabled (the E14 ablation) failed work is simply
+    /// abandoned: the ticket stays open and the link stays broken.
+    fn recover(
+        &mut self,
+        ticket: TicketId,
+        repair: &ActiveRepair,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if !self.cfg.recovery.enabled || self.board.get(ticket).is_closed() {
+            return;
+        }
+        let rack = self.rack_of(repair.link);
+        let st = *self.recovery_state.entry(ticket).or_default();
+        let failed_unit_usable = repair
+            .robot_unit
+            .map(|u| self.fleet.health(u, now) != UnitHealth::Down)
+            .unwrap_or(false);
+        let fleet_has_capacity = !self.fleet.all_reachable_down(&self.topo.layout, rack, now);
+        let step = if repair.outcome == OpOutcome::AbortedUnsafe {
+            RecoveryStep::HumanTicket
+        } else {
+            self.cfg
+                .recovery
+                .next_step(st, failed_unit_usable, fleet_has_capacity)
+        };
+        let backoff_attempt = st.same_robot_retries + st.reassigns;
+        match step {
+            RecoveryStep::RetrySameRobot => {
+                self.recovery_state
+                    .get_mut(&ticket)
+                    .expect("entry above")
+                    .same_robot_retries += 1;
+                self.robot_retries += 1;
+                let delay = self
+                    .cfg
+                    .recovery
+                    .backoff
+                    .delay(backoff_attempt, &mut self.recovery_rng);
+                sched.schedule_in(delay, Ev::Dispatch { ticket });
+            }
+            RecoveryStep::ReassignOtherUnit => {
+                self.recovery_state
+                    .get_mut(&ticket)
+                    .expect("entry above")
+                    .reassigns += 1;
+                self.robot_reassigns += 1;
+                if let Some(u) = repair.robot_unit {
+                    self.exclude_unit.insert(ticket, u);
+                }
+                let delay = self
+                    .cfg
+                    .recovery
+                    .backoff
+                    .delay(backoff_attempt, &mut self.recovery_rng);
+                sched.schedule_in(delay, Ev::Dispatch { ticket });
+            }
+            RecoveryStep::HumanTicket => {
+                // Graceful degradation: the L0 world still works.
+                self.forced_human.insert(ticket);
+                self.human_escalations += 1;
+                sched.schedule_now(Ev::Dispatch { ticket });
+            }
+            RecoveryStep::QueueUntilFleetRecovers => {
+                self.recovery_queued += 1;
+                self.recovery_queue.push(ticket);
+            }
+        }
+    }
+
+    fn on_robot_recovered(&mut self, unit: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.fleet.mark_repaired(unit, now);
+        self.robot_recoveries += 1;
+        // Capacity is back: drain the parked tickets.
+        for ticket in std::mem::take(&mut self.recovery_queue) {
+            sched.schedule_now(Ev::Dispatch { ticket });
+        }
     }
 
     // ----- proactive & predictive loops ------------------------------
@@ -1148,8 +1585,7 @@ impl Engine {
             return;
         }
         self.campaign_links += 1;
-        if let Some(id) =
-            self.open_ticket(link, TicketTrigger::Proactive, Priority::P2, now, sched)
+        if let Some(id) = self.open_ticket(link, TicketTrigger::Proactive, Priority::P2, now, sched)
         {
             self.forced_action.insert(id, RepairAction::Reseat);
         }
@@ -1193,12 +1629,9 @@ impl Engine {
                     && self.links_rt[l.index()].incident.is_none()
             })
             .collect();
-        candidates.sort_by(|&a, &b| {
-            scored[b]
-                .1
-                .partial_cmp(&scored[a].1)
-                .expect("scores are finite")
-        });
+        // total_cmp: a NaN score (however it arose) must not panic the
+        // control plane mid-run; it just sorts last.
+        candidates.sort_by(|&a, &b| scored[b].1.total_cmp(&scored[a].1));
         candidates.truncate(max_flags);
         let flagged_set: std::collections::HashSet<LinkId> =
             candidates.iter().map(|&i| scored[i].0).collect();
@@ -1284,6 +1717,31 @@ impl Engine {
                 .sum::<f64>()
                 / n as f64
         };
+        // Leak audit: anything still held at the horizon must belong to
+        // a repair genuinely in flight. A claim or drain owned by
+        // nobody is a bug the abort invariant exists to prevent.
+        let active_claims: std::collections::HashSet<ClaimId> =
+            self.active.values().map(|r| r.claim).collect();
+        let zone_claims_leaked = self
+            .zones
+            .open_claim_ids(horizon)
+            .into_iter()
+            .filter(|id| !active_claims.contains(id))
+            .count() as u64;
+        let drained_by_active: std::collections::HashSet<LinkId> = self
+            .active
+            .values()
+            .filter_map(|r| r.announcement.as_ref())
+            .flat_map(|a| a.drained.iter().copied())
+            .collect();
+        let drains_leaked = self
+            .topo
+            .link_ids()
+            .filter(|&l| {
+                !matches!(self.state.link(l).admin, AdminState::InService)
+                    && !drained_by_active.contains(&l)
+            })
+            .count() as u64;
         RunReport {
             duration: self.cfg.duration,
             ended_at: horizon,
@@ -1312,6 +1770,20 @@ impl Engine {
             drain_capacity_impact: self.drain_capacity_impact,
             campaign_drain_impact: self.campaign_drain_impact,
             mean_loss_ewma,
+            op_stalls: self.op_stalls,
+            op_aborts_safe: self.op_aborts_safe,
+            op_aborts_unsafe: self.op_aborts_unsafe,
+            watchdog_fires: self.watchdog_fires,
+            robot_retries: self.robot_retries,
+            robot_reassigns: self.robot_reassigns,
+            robot_recoveries: self.robot_recoveries,
+            robot_breakdowns: self.fleet.total_breakdowns(),
+            telemetry_dropouts: self.telemetry_dropouts,
+            dispatch_msgs_lost: self.dispatch_msgs_lost,
+            ports_flagged: self.ports_flagged,
+            recovery_queued: self.recovery_queued,
+            zone_claims_leaked,
+            drains_leaked,
         }
     }
 }
@@ -1326,9 +1798,9 @@ pub fn service_connectivity(topo: &Topology, state: &NetState, pairs: &[(NodeId,
 mod tests {
     use super::*;
     use crate::config::{ScenarioConfig, TopologySpec};
-    use maintctl::AutomationLevel;
     #[allow(unused_imports)]
     use dcmaint_faults::RootCause as _RootCauseForTests;
+    use maintctl::AutomationLevel;
 
     fn small(seed: u64, level: AutomationLevel, days: u64) -> ScenarioConfig {
         let mut cfg = ScenarioConfig::at_level(seed, level);
@@ -1666,11 +2138,7 @@ mod tests {
         // do physical work.
         assert!(r.robot_ops > 0);
         assert!(r.tech_time > SimDuration::ZERO);
-        let supervised: u64 = r
-            .actions
-            .values()
-            .map(|s| s.robotic)
-            .sum();
+        let supervised: u64 = r.actions.values().map(|s| s.robotic).sum();
         assert!(supervised > 0);
     }
 

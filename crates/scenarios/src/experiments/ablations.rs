@@ -166,9 +166,7 @@ pub fn run_a2(p: &AblationParams) -> Vec<A2Row> {
                 mean_attempts: report.mean_attempts(),
                 median_window: report.median_service_window(),
                 hardware_cost: report.costs.hardware,
-                switch_replacements: report
-                    .action(RepairAction::ReplaceSwitchHardware)
-                    .attempts,
+                switch_replacements: report.action(RepairAction::ReplaceSwitchHardware).attempts,
             }
         })
         .collect()
@@ -236,8 +234,7 @@ pub fn run_a3(p: &AblationParams) -> Vec<A3Row> {
                 vendors,
                 escalations: report.human_escalations,
                 robot_ops: report.robot_ops,
-                escalation_rate: report.human_escalations as f64
-                    / report.robot_ops.max(1) as f64,
+                escalation_rate: report.human_escalations as f64 / report.robot_ops.max(1) as f64,
                 median_window: report.median_service_window(),
                 tech_time: report.tech_time,
             }

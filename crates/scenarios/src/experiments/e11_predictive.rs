@@ -109,7 +109,10 @@ pub fn table(out: &E11Output) -> Table {
         "E11: online failure prediction (§4 ML opportunity)",
         &[("metric", Align::Left), ("value", Align::Right)],
     );
-    t.row(vec!["predictions resolved".to_string(), out.predictions.to_string()]);
+    t.row(vec![
+        "predictions resolved".to_string(),
+        out.predictions.to_string(),
+    ]);
     t.row(vec!["links flagged".to_string(), out.flagged.to_string()]);
     t.row(vec!["precision".to_string(), fpct(out.precision)]);
     t.row(vec!["recall".to_string(), fpct(out.recall)]);

@@ -95,10 +95,7 @@ pub fn run_experiment(p: &E12Params) -> Vec<E12Row> {
         .into_iter()
         .map(|spec| {
             let topo = spec.build(dcmaint_dcnet::DiversityProfile::cloud_typical(), &rng);
-            let tors: Vec<_> = tor_switches(&topo)
-                .into_iter()
-                .take(p.max_tors)
-                .collect();
+            let tors: Vec<_> = tor_switches(&topo).into_iter().take(p.max_tors).collect();
             let mut stranded = 0.0;
             let mut restored = 0.0;
             let mut rewire_s = 0.0;
@@ -175,7 +172,11 @@ mod tests {
     fn rewiring_slashes_stranded_server_hours() {
         let rows = run_experiment(&E12Params::quick(121));
         for r in &rows {
-            assert!(r.mean_stranded > 0.0, "{}: ToR failures strand servers", r.topology);
+            assert!(
+                r.mean_stranded > 0.0,
+                "{}: ToR failures strand servers",
+                r.topology
+            );
             assert!(
                 r.restored_frac > 0.95,
                 "{}: rewire restores {:.0}%",

@@ -104,11 +104,7 @@ pub fn run_experiment(p: &E2Params) -> E2Output {
             }
         })
         .collect();
-    let multi = report
-        .attempts_per_fix
-        .iter()
-        .filter(|&&a| a > 1)
-        .count() as f64
+    let multi = report.attempts_per_fix.iter().filter(|&&a| a > 1).count() as f64
         / report.attempts_per_fix.len().max(1) as f64;
     E2Output {
         rows,
@@ -166,11 +162,7 @@ mod tests {
                 r.action
             );
         }
-        let max_share = out
-            .rows
-            .iter()
-            .map(|r| r.fix_share)
-            .fold(0.0, f64::max);
+        let max_share = out.rows.iter().map(|r| r.fix_share).fold(0.0, f64::max);
         assert_eq!(reseat.fix_share, max_share, "reseat fixes the most");
         assert!(reseat.fix_share > 0.3, "share {}", reseat.fix_share);
     }

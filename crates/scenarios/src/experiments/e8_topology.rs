@@ -141,8 +141,7 @@ pub fn table(rows: &[E8Row]) -> Table {
             fnum(m.mean_blast_radius, 1),
             fnum(m.drainable_frac, 2),
             fnum(m.index, 1),
-            r.sim_availability
-                .map_or("-".to_string(), |a| fnum(a, 5)),
+            r.sim_availability.map_or("-".to_string(), |a| fnum(a, 5)),
         ]);
     }
     t

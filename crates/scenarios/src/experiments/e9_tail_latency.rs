@@ -76,14 +76,7 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 /// Run E9.
 pub fn run_experiment(p: &E9Params) -> Vec<E9Row> {
     let rng = SimRng::root(p.seed);
-    let topo = dcmaint_dcnet::gen::leaf_spine(
-        2,
-        4,
-        2,
-        1,
-        DiversityProfile::standardized(),
-        &rng,
-    );
+    let topo = dcmaint_dcnet::gen::leaf_spine(2, 4, 2, 1, DiversityProfile::standardized(), &rng);
     let servers = topo.servers();
     let demands = all_to_all(&servers, 10.0);
     // Pick a leaf-spine uplink to flap.
@@ -121,9 +114,8 @@ pub fn run_experiment(p: &E9Params) -> Vec<E9Row> {
             // monthly effect shows at p999, not p99 — exactly the
             // "tail latency" framing of §1.
             let mix = |alive: SimDuration| -> f64 {
-                let frac = (alive.as_secs_f64()
-                    / SimDuration::from_days(30).as_secs_f64())
-                .min(1.0);
+                let frac =
+                    (alive.as_secs_f64() / SimDuration::from_days(30).as_secs_f64()).min(1.0);
                 let clean_frac = 1.0 - frac;
                 if clean_frac >= 0.999 {
                     // Flap-alive time is under 0.1% of the month: the

@@ -15,6 +15,11 @@
 //! numbers, which depend on calibration constants.
 
 pub mod ablations;
+pub mod e10_fleet;
+pub mod e11_predictive;
+pub mod e12_reconfig;
+pub mod e13_timing;
+pub mod e14_robustness;
 pub mod e1_service_window;
 pub mod e2_escalation;
 pub mod e3_cascade;
@@ -24,11 +29,12 @@ pub mod e6_inspection;
 pub mod e7_repair_cdf;
 pub mod e8_topology;
 pub mod e9_tail_latency;
-pub mod e10_fleet;
-pub mod e11_predictive;
-pub mod e12_reconfig;
-pub mod e13_timing;
 
+pub use e10_fleet as e10;
+pub use e11_predictive as e11;
+pub use e12_reconfig as e12;
+pub use e13_timing as e13;
+pub use e14_robustness as e14;
 pub use e1_service_window as e1;
 pub use e2_escalation as e2;
 pub use e3_cascade as e3;
@@ -38,10 +44,6 @@ pub use e6_inspection as e6;
 pub use e7_repair_cdf as e7;
 pub use e8_topology as e8;
 pub use e9_tail_latency as e9;
-pub use e10_fleet as e10;
-pub use e11_predictive as e11;
-pub use e12_reconfig as e12;
-pub use e13_timing as e13;
 
 use dcmaint_des::SimDuration;
 

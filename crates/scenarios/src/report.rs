@@ -7,10 +7,10 @@
 use std::collections::HashMap;
 
 use dcmaint_des::{SimDuration, SimTime};
-use serde_json::json;
 use dcmaint_faults::RepairAction;
 use dcmaint_metrics::{CostLedger, DurationSamples, FleetSummary};
 use maintctl::PredictionStats;
+use serde_json::json;
 
 /// Per-action outcome tallies.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +100,40 @@ pub struct RunReport {
     pub campaign_drain_impact: f64,
     /// Mean loss-EWMA across links at end (gray-failure residue).
     pub mean_loss_ewma: f64,
+    /// Robot operations that froze mid-work (actuator stall / unit
+    /// breakdown) and had to be caught by a watchdog.
+    pub op_stalls: u64,
+    /// Robot operations aborted with a clean back-out.
+    pub op_aborts_safe: u64,
+    /// Robot operations aborted with the component half-extracted
+    /// (port flagged for humans).
+    pub op_aborts_unsafe: u64,
+    /// Watchdog expiries that actually acted (declared a stall dead or
+    /// recovered a lost completion report).
+    pub watchdog_fires: u64,
+    /// Recovery-ladder retries on the same unit.
+    pub robot_retries: u64,
+    /// Recovery-ladder reassignments to a different unit.
+    pub robot_reassigns: u64,
+    /// Robot units returned to service by scheduled repair.
+    pub robot_recoveries: u64,
+    /// Robot unit breakdowns (fault-model stalls declared dead plus the
+    /// legacy post-op breakdown rolls).
+    pub robot_breakdowns: u64,
+    /// Telemetry poll cycles lost to dropout.
+    pub telemetry_dropouts: u64,
+    /// Robot completion/escalation reports lost in transit.
+    pub dispatch_msgs_lost: u64,
+    /// Ports flagged humans-only after an unsafe abort (§3.4).
+    pub ports_flagged: u64,
+    /// Tickets parked until the robot fleet recovered.
+    pub recovery_queued: u64,
+    /// Safety-zone claims still held at the horizon by no in-flight
+    /// repair. The abort invariant demands this is always zero.
+    pub zone_claims_leaked: u64,
+    /// Drained links owned by no in-flight repair at the horizon.
+    /// Ditto: always zero.
+    pub drains_leaked: u64,
 }
 
 impl RunReport {
@@ -119,7 +153,10 @@ impl RunReport {
         if self.attempts_per_fix.is_empty() {
             return 0.0;
         }
-        self.attempts_per_fix.iter().map(|&a| f64::from(a)).sum::<f64>()
+        self.attempts_per_fix
+            .iter()
+            .map(|&a| f64::from(a))
+            .sum::<f64>()
             / self.attempts_per_fix.len() as f64
     }
 
@@ -195,6 +232,22 @@ impl RunReport {
             "drains_deferred": self.drains_deferred,
             "drain_capacity_impact": self.drain_capacity_impact,
             "actions": actions,
+            "robustness": {
+                "op_stalls": self.op_stalls,
+                "op_aborts_safe": self.op_aborts_safe,
+                "op_aborts_unsafe": self.op_aborts_unsafe,
+                "watchdog_fires": self.watchdog_fires,
+                "robot_retries": self.robot_retries,
+                "robot_reassigns": self.robot_reassigns,
+                "robot_recoveries": self.robot_recoveries,
+                "robot_breakdowns": self.robot_breakdowns,
+                "telemetry_dropouts": self.telemetry_dropouts,
+                "dispatch_msgs_lost": self.dispatch_msgs_lost,
+                "ports_flagged": self.ports_flagged,
+                "recovery_queued": self.recovery_queued,
+                "zone_claims_leaked": self.zone_claims_leaked,
+                "drains_leaked": self.drains_leaked,
+            },
         })
     }
 }
@@ -206,10 +259,8 @@ mod tests {
 
     #[test]
     fn summary_json_has_stable_top_level_keys() {
-        let avail = FleetAvailability::new(SimTime::ZERO).summarize(
-            SimTime::ZERO + SimDuration::from_days(1),
-            10,
-        );
+        let avail = FleetAvailability::new(SimTime::ZERO)
+            .summarize(SimTime::ZERO + SimDuration::from_days(1), 10);
         let mut r = RunReport {
             duration: SimDuration::from_days(1),
             ended_at: SimTime::ZERO + SimDuration::from_days(1),
@@ -238,6 +289,20 @@ mod tests {
             drain_capacity_impact: 0.0,
             campaign_drain_impact: 0.0,
             mean_loss_ewma: 0.0,
+            op_stalls: 0,
+            op_aborts_safe: 0,
+            op_aborts_unsafe: 0,
+            watchdog_fires: 0,
+            robot_retries: 0,
+            robot_reassigns: 0,
+            robot_recoveries: 0,
+            robot_breakdowns: 0,
+            telemetry_dropouts: 0,
+            dispatch_msgs_lost: 0,
+            ports_flagged: 0,
+            recovery_queued: 0,
+            zone_claims_leaked: 0,
+            drains_leaked: 0,
         };
         let j = r.summary_json();
         for key in [
@@ -254,6 +319,8 @@ mod tests {
         }
         assert_eq!(j["incidents"], 2);
         assert_eq!(j["tickets"]["by_trigger"]["down"], 2);
+        assert!(j["robustness"]["op_stalls"].is_u64());
+        assert!(j["robustness"]["zone_claims_leaked"].is_u64());
         // Every ladder action appears even with zero attempts.
         assert!(j["actions"]["repl-switch"]["attempts"].is_u64());
     }

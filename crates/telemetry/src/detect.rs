@@ -153,7 +153,10 @@ mod tests {
     }
 
     fn setup() -> (Detector, LinkCounters) {
-        (Detector::default(), LinkCounters::new(SimDuration::from_mins(30)))
+        (
+            Detector::default(),
+            LinkCounters::new(SimDuration::from_mins(30)),
+        )
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! Features are normalized to roughly `[0, 1]` so a logistic model with
 //! small weights behaves; names are exported for report tables.
 
-use dcmaint_dcnet::Topology;
 use dcmaint_dcnet::LinkId;
+use dcmaint_dcnet::Topology;
 use dcmaint_des::SimTime;
 
 use crate::counters::LinkCounters;
@@ -55,13 +55,20 @@ pub fn extract(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcmaint_dcnet::CableMedium;
     use dcmaint_dcnet::gen::leaf_spine;
+    use dcmaint_dcnet::CableMedium;
     use dcmaint_dcnet::DiversityProfile;
     use dcmaint_des::{SimDuration, SimRng};
 
     fn topo() -> Topology {
-        leaf_spine(2, 2, 2, 1, DiversityProfile::standardized(), &SimRng::root(1))
+        leaf_spine(
+            2,
+            2,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        )
     }
 
     fn t(secs: u64) -> SimTime {

@@ -91,7 +91,14 @@ mod tests {
     use dcmaint_des::SimRng;
 
     fn setup() -> (Topology, NetState, TelemetryPlane) {
-        let t = leaf_spine(2, 2, 2, 1, DiversityProfile::standardized(), &SimRng::root(1));
+        let t = leaf_spine(
+            2,
+            2,
+            2,
+            1,
+            DiversityProfile::standardized(),
+            &SimRng::root(1),
+        );
         let s = NetState::new(&t);
         let p = TelemetryPlane::new(&t);
         (t, s, p)

@@ -161,7 +161,10 @@ impl Ticket {
 
     /// Whether the ticket is in a terminal state.
     pub fn is_closed(&self) -> bool {
-        matches!(self.state, TicketState::Closed | TicketState::ClosedSpurious)
+        matches!(
+            self.state,
+            TicketState::Closed | TicketState::ClosedSpurious
+        )
     }
 }
 
@@ -359,7 +362,10 @@ mod tests {
         let mut b = TicketBoard::new();
         let (id, _) = b.open(LinkId(1), TicketTrigger::LinkDown, Priority::P0, at(100));
         b.close(id, at(400), false);
-        assert_eq!(b.get(id).service_window(), Some(SimDuration::from_secs(300)));
+        assert_eq!(
+            b.get(id).service_window(),
+            Some(SimDuration::from_secs(300))
+        );
         assert_eq!(b.service_windows(), vec![SimDuration::from_secs(300)]);
     }
 
@@ -388,7 +394,10 @@ mod tests {
         );
         b.close(id, at(30), false);
         let w = SimDuration::from_secs(1000);
-        assert_eq!(b.recent_actions(LinkId(2), at(500), w), vec![RepairAction::Reseat]);
+        assert_eq!(
+            b.recent_actions(LinkId(2), at(500), w),
+            vec![RepairAction::Reseat]
+        );
         assert!(b.recent_actions(LinkId(2), at(2000), w).is_empty());
         assert!(b.recent_actions(LinkId(3), at(500), w).is_empty());
     }

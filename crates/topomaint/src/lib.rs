@@ -184,16 +184,15 @@ fn drainability(topo: &Topology, pair_samples: usize, stream: &mut Stream) -> f6
 /// calls out (wiring looms, cascading surfaces).
 pub fn index_of(r: &MaintainabilityReport) -> f64 {
     let cable_pen = (r.mean_cable_m / 40.0).min(1.0) * 20.0;
-    let tray_pen = (r.mean_tray_load / 60.0).min(1.0) * 10.0
-        + (r.max_tray_load as f64 / 200.0).min(1.0) * 5.0;
+    let tray_pen =
+        (r.mean_tray_load / 60.0).min(1.0) * 10.0 + (r.max_tray_load as f64 / 200.0).min(1.0) * 5.0;
     let blast_pen = (r.mean_blast_radius / 40.0).min(1.0) * 10.0;
     let sku_pen = (r.cable_skus as f64 / 30.0).min(1.0) * 10.0;
     let row_pen = r.cross_row_frac * 10.0;
     // Unbundleable wiring is the dominant §4 deployability obstacle.
     let bundle_pen = (1.0 - (r.mean_bundle_size - 1.0) / 4.0).clamp(0.0, 1.0) * 20.0;
     let drain_bonus_loss = (1.0 - r.drainable_frac) * 15.0;
-    (100.0 - cable_pen - tray_pen - blast_pen - sku_pen - row_pen - bundle_pen
-        - drain_bonus_loss)
+    (100.0 - cable_pen - tray_pen - blast_pen - sku_pen - row_pen - bundle_pen - drain_bonus_loss)
         .clamp(0.0, 100.0)
 }
 

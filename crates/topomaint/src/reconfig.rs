@@ -17,9 +17,7 @@
 
 use dcmaint_dcnet::routing::distances_from;
 use dcmaint_dcnet::topology::{NodeKind, Tier};
-use dcmaint_dcnet::{
-    FormFactor, NetState, NodeId, Topology, TopologyBuilder,
-};
+use dcmaint_dcnet::{FormFactor, NetState, NodeId, Topology, TopologyBuilder};
 use dcmaint_des::{SimDuration, SimRng};
 
 /// One cable move: re-patch `node`'s link (formerly to the failed
@@ -62,11 +60,7 @@ pub fn stranded_by(topo: &Topology, failed: NodeId) -> Vec<NodeId> {
         state.set_health(l, dcmaint_dcnet::LinkHealth::Down, 1.0);
     }
     // Reachability from an arbitrary healthy switch.
-    let Some(&root) = topo
-        .switches()
-        .iter()
-        .find(|&&s| s != failed)
-    else {
+    let Some(&root) = topo.switches().iter().find(|&&s| s != failed) else {
         return Vec::new();
     };
     let dist = distances_from(topo, &state, root);
@@ -250,10 +244,7 @@ mod tests {
     #[test]
     fn spine_failure_strands_nobody() {
         let t = ls();
-        let spine = t
-            .node_ids()
-            .find(|&n| t.node(n).name == "spine-0")
-            .unwrap();
+        let spine = t.node_ids().find(|&n| t.node(n).name == "spine-0").unwrap();
         assert!(stranded_by(&t, spine).is_empty(), "ECMP absorbs it");
     }
 

@@ -40,10 +40,13 @@ fn main() {
 
     // Run the full pipeline and print the phase trace.
     let result = run_clean(
-        &timings, &vision, 12.0, /* travel m */
-        0.4, /* fleet diversity */
-        0.3, /* faceplate density */
-        &mut end_face, &mut stream,
+        &timings,
+        &vision,
+        12.0, /* travel m */
+        0.4,  /* fleet diversity */
+        0.3,  /* faceplate density */
+        &mut end_face,
+        &mut stream,
     );
     println!("— cleaning pipeline trace —");
     let mut t = SimTime::ZERO;
@@ -57,8 +60,11 @@ fn main() {
         result.success,
         result.escalated
     );
-    println!("  end-face after: worst core {:.3} (passes: {})\n",
-        end_face.worst(), end_face.passes_inspection());
+    println!(
+        "  end-face after: worst core {:.3} (passes: {})\n",
+        end_face.worst(),
+        end_face.passes_inspection()
+    );
 
     // The paper's headline timing claims, as the E6 sweep.
     let rows = e6::run_experiment(&e6::E6Params::full(99));

@@ -31,14 +31,11 @@ fn main() {
         })
         .expect("uplink");
     println!("— what-if: drain {uplink} for a 10-minute robotic clean —");
-    let risk = assess_window(
-        &topo,
-        &state,
-        &[uplink],
-        SimDuration::from_mins(10),
-        &pairs,
+    let risk = assess_window(&topo, &state, &[uplink], SimDuration::from_mins(10), &pairs);
+    println!(
+        "  pairs disconnected by the drain : {}",
+        risk.disconnected_pairs
     );
-    println!("  pairs disconnected by the drain : {}", risk.disconnected_pairs);
     println!(
         "  links exposed to a single fault  : {} ({} switch-facing)",
         risk.exposed_links.len(),
@@ -73,10 +70,25 @@ fn main() {
     ctl.predictive = None;
     cfg.controller = Some(ctl);
     let faults = [
-        (6u64, 0usize, RootCause::FirmwareHang, "firmware hang (reseat cures)"),
-        (18, 4, RootCause::DirtyEndFace, "contamination (gray, may flap)"),
+        (
+            6u64,
+            0usize,
+            RootCause::FirmwareHang,
+            "firmware hang (reseat cures)",
+        ),
+        (
+            18,
+            4,
+            RootCause::DirtyEndFace,
+            "contamination (gray, may flap)",
+        ),
         (30, 9, RootCause::DamagedFiber, "damaged fiber (cable swap)"),
-        (48, 13, RootCause::SwitchPortFault, "switch ASIC (human swap)"),
+        (
+            48,
+            13,
+            RootCause::SwitchPortFault,
+            "switch ASIC (human swap)",
+        ),
     ];
     cfg.scripted = faults
         .iter()

@@ -68,11 +68,13 @@ fn main() {
         demands.len()
     );
     for q in [0.50, 0.90, 0.99] {
-        println!("  p{:<3} x{:.2}", (q * 100.0) as u32, report.latency_quantile(q));
+        println!(
+            "  p{:<3} x{:.2}",
+            (q * 100.0) as u32,
+            report.latency_quantile(q)
+        );
     }
-    println!(
-        "  (medians barely move — ECMP routes around the link; the tail pays)"
-    );
+    println!("  (medians barely move — ECMP routes around the link; the tail pays)");
 
     // The month-scale story: repair speed decides how long the tail
     // stays inflated. E9 is the full experiment; print its table.

@@ -33,7 +33,11 @@ fn main() {
     for (i, &l) in links.iter().take(3).enumerate() {
         t += SimDuration::from_hours(20);
         planner.record_reseat_fix(&topo, l, t);
-        println!("  day {:.1}: reseat fixed {l} (fix #{})", t.as_days_f64(), i + 1);
+        println!(
+            "  day {:.1}: reseat fixed {l} (fix #{})",
+            t.as_days_f64(),
+            i + 1
+        );
     }
     // Peak hours: the gate holds.
     let peak = SimTime::ZERO + SimDuration::from_hours(68); // 20:00 day 2
@@ -41,7 +45,9 @@ fn main() {
         "  at {} utilization {:.2}: campaigns -> {}",
         peak,
         diurnal_utilization(peak),
-        planner.evaluate(&topo, diurnal_utilization(peak), peak).len()
+        planner
+            .evaluate(&topo, diurnal_utilization(peak), peak)
+            .len()
     );
     // Morning trough: go.
     let trough = SimTime::ZERO + SimDuration::from_hours(80); // 08:00 day 3

@@ -106,7 +106,10 @@ fn cmd_run(args: &[String]) {
         cfg.controller = Some(ctl);
     }
 
-    eprintln!("running {days} simulated days at {} (seed {seed})…", level.label());
+    eprintln!(
+        "running {days} simulated days at {} (seed {seed})…",
+        level.label()
+    );
     let mut report = selfmaint::scenarios::run(cfg);
     if flag(args, "--json") {
         println!(
@@ -151,10 +154,7 @@ fn cmd_run(args: &[String]) {
             fnum(nines(report.availability.availability), 2)
         ),
     ]);
-    t.row(vec![
-        "tech time".into(),
-        report.tech_time.to_string(),
-    ]);
+    t.row(vec!["tech time".into(), report.tech_time.to_string()]);
     t.row(vec![
         "robot ops / escalations".into(),
         format!("{} / {}", report.robot_ops, report.human_escalations),
@@ -172,8 +172,14 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_advise(args: &[String]) {
-    let mtbf_days: u64 = opt(args, "--mtbf-days").unwrap_or("60").parse().unwrap_or(60);
-    let mttr_mins: u64 = opt(args, "--mttr-mins").unwrap_or("10").parse().unwrap_or(10);
+    let mtbf_days: u64 = opt(args, "--mtbf-days")
+        .unwrap_or("60")
+        .parse()
+        .unwrap_or(60);
+    let mttr_mins: u64 = opt(args, "--mttr-mins")
+        .unwrap_or("10")
+        .parse()
+        .unwrap_or(10);
     let need: usize = opt(args, "--need").unwrap_or("8").parse().unwrap_or(8);
     let target: f64 = opt(args, "--target")
         .unwrap_or("0.9999")
@@ -236,7 +242,11 @@ fn cmd_levels() {
             l.name(),
             if l.proactive_allowed() { "yes" } else { "no" },
             if l.needs_supervisor() { "yes" } else { "no" },
-            if l.escalation_enters_hall() { "yes" } else { "no" },
+            if l.escalation_enters_hall() {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
 }

@@ -52,8 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use dcmaint_des as des;
 pub use dcmaint_dcnet as net;
+pub use dcmaint_des as des;
 pub use dcmaint_faults as faults;
 pub use dcmaint_metrics as metrics;
 pub use dcmaint_robotics as robotics;

@@ -144,8 +144,18 @@ fn measured_mttr_feeds_the_provisioning_advisor() {
     let l0 = selfmaint::scenarios::run(small_config(11, AutomationLevel::L0));
     let l3 = selfmaint::scenarios::run(small_config(11, AutomationLevel::L3));
     let mtbf = SimDuration::from_days(60);
-    let adv0 = selfmaint::control::advise(mtbf, l0.availability.down_total / l0.availability.failures.max(1), 8, 0.9999);
-    let adv3 = selfmaint::control::advise(mtbf, l3.availability.down_total / l3.availability.failures.max(1), 8, 0.9999);
+    let adv0 = selfmaint::control::advise(
+        mtbf,
+        l0.availability.down_total / l0.availability.failures.max(1),
+        8,
+        0.9999,
+    );
+    let adv3 = selfmaint::control::advise(
+        mtbf,
+        l3.availability.down_total / l3.availability.failures.max(1),
+        8,
+        0.9999,
+    );
     assert!(
         adv0.spares >= adv3.spares,
         "measured L0 MTTR needs {} spares, L3 {}",
@@ -169,14 +179,28 @@ fn controller_reports_consistent_level_behaviour() {
 fn experiment_quick_presets_all_run() {
     use selfmaint::scenarios::experiments as exp;
     // Smoke: every experiment's quick preset produces non-empty output.
-    assert_eq!(exp::e1::run_experiment(&exp::e1::E1Params::quick(1)).len(), 5);
-    assert!(!exp::e2::run_experiment(&exp::e2::E2Params::quick(1)).rows.is_empty());
-    assert_eq!(exp::e3::run_experiment(&exp::e3::E3Params::quick(1)).len(), 3);
-    assert_eq!(exp::e4::run_experiment(&exp::e4::E4Params::quick(1)).len(), 3);
+    assert_eq!(
+        exp::e1::run_experiment(&exp::e1::E1Params::quick(1)).len(),
+        5
+    );
+    assert!(!exp::e2::run_experiment(&exp::e2::E2Params::quick(1))
+        .rows
+        .is_empty());
+    assert_eq!(
+        exp::e3::run_experiment(&exp::e3::E3Params::quick(1)).len(),
+        3
+    );
+    assert_eq!(
+        exp::e4::run_experiment(&exp::e4::E4Params::quick(1)).len(),
+        3
+    );
     assert!(!exp::e5::run_experiment(&exp::e5::E5Params::standard()).is_empty());
     assert!(!exp::e6::run_experiment(&exp::e6::E6Params::quick(1)).is_empty());
     assert!(!exp::e7::run_experiment(&exp::e7::E7Params::quick(1)).is_empty());
-    assert_eq!(exp::e8::run_experiment(&exp::e8::E8Params::quick(1)).len(), 4);
+    assert_eq!(
+        exp::e8::run_experiment(&exp::e8::E8Params::quick(1)).len(),
+        4
+    );
     assert!(!exp::e9::run_experiment(&exp::e9::E9Params::quick(1)).is_empty());
     assert!(!exp::e10::run_experiment(&exp::e10::E10Params::quick(1)).is_empty());
     let e11 = exp::e11::run_experiment(&exp::e11::E11Params::quick(1));

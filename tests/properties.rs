@@ -7,8 +7,8 @@ use selfmaint::control::{k_of_n_availability, member_availability};
 use selfmaint::des::{Dist, Scheduler, SimDuration, SimRng, SimTime};
 use selfmaint::faults::{EndFace, RepairAction, RootCause};
 use selfmaint::metrics::{nines, SampleSet, StreamingStats};
-use selfmaint::net::gen::{jellyfish, leaf_spine};
 use selfmaint::net::flows::{allocate, tail_latency_multiplier, Demand};
+use selfmaint::net::gen::{jellyfish, leaf_spine};
 use selfmaint::net::routing::{connected, distances_from};
 use selfmaint::net::{DiversityProfile, NetState};
 
@@ -297,6 +297,84 @@ proptest! {
         }
     }
 
+    /// Claim handles release cleanly: every reserved claim shows up as
+    /// open, and after release it is never held beyond its start again —
+    /// the unit-level half of the abort-releases-claims invariant.
+    #[test]
+    fn zone_claim_handles_release_cleanly(
+        times in prop::collection::vec((0u64..10_000, 1u64..600), 1..16),
+    ) {
+        use selfmaint::control::{SafetyConfig, ZoneActor, ZoneLedger};
+        use selfmaint::net::RackLoc;
+        let mut ledger = ZoneLedger::new(SafetyConfig::default());
+        let rack = RackLoc { row: 1, col: 2 };
+        let mut claims = Vec::new();
+        for (i, &(t, d)) in times.iter().enumerate() {
+            let actor = if i % 2 == 0 { ZoneActor::Robot } else { ZoneActor::Human };
+            let desired = SimTime::from_micros(t * 1_000_000);
+            let dur = SimDuration::from_secs(d);
+            let (start, id) = ledger.reserve_claim(actor, rack, SimTime::ZERO, desired, dur);
+            claims.push((id, start));
+        }
+        // All claims are open before anything is released.
+        prop_assert_eq!(ledger.open_claim_ids(SimTime::ZERO).len(), claims.len());
+        let horizon = claims.iter().map(|&(_, s)| s).max().unwrap();
+        for &(id, start) in &claims {
+            ledger.release(id, SimTime::ZERO);
+            prop_assert!(!ledger.is_held_beyond(id, start));
+        }
+        prop_assert!(ledger.open_claim_ids(horizon).is_empty());
+    }
+
+    /// `afflict` only ever truncates a plan, and classifies consistently:
+    /// stall/abort outcomes always carry a fault; a fault-free pass
+    /// leaves the plan (phases, outcome, total) untouched.
+    #[test]
+    fn afflict_truncates_and_classifies(
+        seed in 0u64..300,
+        mtbf_s in 1u64..10_000,
+        event_p in 0.0f64..0.25,
+    ) {
+        use selfmaint::faults::RobotFaultConfig;
+        use selfmaint::robotics::{afflict, run_reseat, OpOutcome, OpTimings, VisionModel};
+        let mut rng = SimRng::root(seed).stream("afflict-prop", 0);
+        let plan = run_reseat(
+            &OpTimings::default(),
+            &VisionModel::default(),
+            5.0,
+            0.2,
+            0.2,
+            &mut rng,
+        );
+        let planned_total = plan.total();
+        let planned_outcome = plan.outcome;
+        let planned_phases = plan.phases.len();
+        let cfg = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_secs(mtbf_s),
+            actuator_mtbf: SimDuration::from_secs(mtbf_s),
+            grip_slip_prob: event_p,
+            vision_misid_prob: event_p,
+            magazine_jam_prob: event_p,
+            telemetry_dropout: 0.0,
+            dispatch_loss: 0.0,
+        };
+        let out = afflict(plan, &cfg, &mut rng);
+        prop_assert!(out.total() <= planned_total);
+        prop_assert!(out.phases.len() <= planned_phases);
+        match out.outcome {
+            OpOutcome::Stalled | OpOutcome::AbortedSafe | OpOutcome::AbortedUnsafe => {
+                prop_assert!(out.fault.is_some(), "{:?} needs a fault", out.outcome);
+                prop_assert!(!out.success);
+            }
+            _ => {
+                prop_assert!(out.fault.is_none());
+                prop_assert_eq!(out.outcome, planned_outcome);
+                prop_assert_eq!(out.total(), planned_total);
+            }
+        }
+    }
+
     /// The maintainability index is bounded and monotone in the bundle
     /// size (other factors fixed).
     #[test]
@@ -332,5 +410,49 @@ proptest! {
             ..base
         };
         prop_assert!(index_of(&better_bundle) + 1e-9 >= i);
+    }
+}
+
+// End-to-end runs are expensive; a separate block keeps the case count
+// low without starving the cheap properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The abort-releases-claims invariant, end to end: however hostile
+    /// the maintenance-plane fault mix and whether or not the recovery
+    /// ladder runs, no stalled or aborted robot op ever leaks a
+    /// safety-zone claim or leaves a link drained with no owner.
+    #[test]
+    fn faulty_runs_never_leak_claims_or_drains(
+        seed in 0u64..10_000,
+        mtbf_mins in 5u64..240,
+        recovery in 0u8..2,
+    ) {
+        use selfmaint::faults::RobotFaultConfig;
+        use selfmaint::prelude::*;
+        let mut cfg = ScenarioConfig::at_level(seed, AutomationLevel::L3);
+        cfg.topology = TopologySpec::LeafSpine {
+            spines: 2,
+            leaves: 4,
+            servers_per_leaf: 2,
+        };
+        cfg.duration = SimDuration::from_days(8);
+        cfg.poll_period = SimDuration::from_secs(120);
+        cfg.faults.mtbi_per_link = SimDuration::from_days(10);
+        cfg.robot_faults = RobotFaultConfig {
+            enabled: true,
+            unit_mtbf: SimDuration::from_mins(mtbf_mins),
+            actuator_mtbf: SimDuration::from_mins(mtbf_mins),
+            grip_slip_prob: 0.03,
+            vision_misid_prob: 0.02,
+            magazine_jam_prob: 0.05,
+            telemetry_dropout: 0.05,
+            dispatch_loss: 0.02,
+        };
+        cfg.recovery.enabled = recovery == 1;
+        let r = selfmaint::scenarios::run(cfg);
+        prop_assert_eq!(r.zone_claims_leaked, 0, "leaked zone claims");
+        prop_assert_eq!(r.drains_leaked, 0, "leaked drains");
+        prop_assert!(r.tickets_fixed + r.tickets_spurious <= r.tickets_total());
     }
 }

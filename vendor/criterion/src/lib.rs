@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`]). Each benchmark runs a
+//! small fixed number of timed iterations and prints a one-line
+//! mean/min/max summary — enough for CI smoke runs and rough
+//! comparisons, with none of real criterion's statistics.
+
+// Stub crate: mirrors the upstream API shape, not upstream idiom.
+#![allow(clippy::all)]
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters_per_sample: u32,
+    target_samples: u32,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample per batch of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up iteration, untimed.
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64() / f64::from(self.iters_per_sample);
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed samples to collect per benchmark. The stub
+    /// caps this low — these runs are smoke tests, not measurements.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).clamp(1, 10);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: self.sample_size.min(3),
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("bench {}/{}: no samples", self.name, id);
+            return self;
+        }
+        let n = b.samples.len() as f64;
+        let mean = b.samples.iter().sum::<f64>() / n;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "bench {}/{}: mean {:.3} ms (min {:.3}, max {:.3}, n={})",
+            self.name,
+            id,
+            mean * 1e3,
+            min * 1e3,
+            max * 1e3,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (no-op beyond symmetry with real criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 3,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut runs = 0u32;
+        g.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0);
+    }
+}

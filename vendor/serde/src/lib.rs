@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` to compile.
+//! The traits are markers with blanket impls — nothing in this
+//! workspace drives a real serializer through them (JSON reports are
+//! built with `serde_json::json!` values directly).
+
+// Stub crate: mirrors the upstream API shape, not upstream idiom.
+#![allow(clippy::all)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

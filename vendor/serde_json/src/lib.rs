@@ -1,0 +1,523 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the subset this workspace uses to emit run reports:
+//! [`Value`], [`Map`], the [`json!`] constructor macro, and
+//! [`to_string_pretty`]. Output is deterministic (BTreeMap-backed
+//! objects → sorted keys, fixed float formatting), which is what the
+//! repo's byte-identical-report tests rely on; it is not guaranteed to
+//! be byte-compatible with upstream `serde_json`.
+
+// Stub crate: mirrors the upstream API shape, not upstream idiom.
+#![allow(clippy::all)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON number: integers kept exact, everything else as `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() {
+                    // Match serde_json's convention that floats always
+                    // carry a decimal point or exponent.
+                    let s = format!("{v}");
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        write!(f, "{s}")
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    // serde_json rejects non-finite floats; we emit null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// Object storage. BTreeMap-backed so key order — and therefore
+/// serialized output — is deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert, returning any previous value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Map {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup; `None` unless this is an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// True if this is an unsigned integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self, Value::Number(Number::U(_)))
+    }
+
+    /// True if this is any number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// As `u64` if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v),
+            Value::Number(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// As `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v as f64),
+            Value::Number(Number::I(v)) => Some(*v as f64),
+            Value::Number(Number::F(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// As `&str` if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool` if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As object map if an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// As array slice if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Value {
+        Value::Array(a)
+    }
+}
+
+macro_rules! impl_partial_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(*other)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                Value::from(*self) == *other
+            }
+        }
+    )*};
+}
+
+impl_partial_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, bool);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Error type for the (infallible) serializers, kept for signature
+/// compatibility with upstream.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-print a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Compact-print a [`Value`].
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    fn write_compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, item) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, item)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    write_compact(out, item);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
+/// Internal helper for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $($crate::json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $($crate::json_object!($map $($rest)*);)?
+    };
+    ($map:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::Value::from($value));
+        $crate::json_object!($map $($rest)*);
+    };
+    ($map:ident $key:literal : $value:expr) => {
+        $map.insert(($key).to_string(), $crate::Value::from($value));
+    };
+}
+
+/// Construct a [`Value`] from a JSON-like literal.
+///
+/// Supports object literals with string-literal keys, array literals of
+/// expressions, `null`, and bare expressions convertible via
+/// `Value::from` — the forms this workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_roundtrip() {
+        let inner: Map<String, Value> = [("k".to_string(), json!(7u64))].into_iter().collect();
+        let v = json!({
+            "a": 1u64,
+            "b": { "c": 2.5, "d": "text" },
+            "arr": [1u64, 2u64],
+            "nested_map": inner,
+            "flag": true,
+        });
+        assert_eq!(v["a"], 1u64);
+        assert!(v["a"].is_u64());
+        assert_eq!(v["b"]["c"], 2.5);
+        assert_eq!(v["b"]["d"], "text");
+        assert_eq!(v["arr"][1], 2u64);
+        assert_eq!(v["nested_map"]["k"], 7u64);
+        assert_eq!(v["flag"], true);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_output_is_deterministic_and_sorted() {
+        let v = json!({ "b": 2u64, "a": 1u64 });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": 2\n}");
+        assert_eq!(s, to_string_pretty(&v).unwrap());
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&json!(1.0f64)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(0.25f64)).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&json!("a\"b\\c\nd")).unwrap();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -23,6 +23,7 @@
 use dcmaint_dcnet::{CableMedium, LinkId, NetState, NodeId, Topology};
 use dcmaint_des::SimDuration;
 use dcmaint_faults::RepairAction;
+use dcmaint_obs::{JVal, Journal};
 
 use crate::drain::{self, DrainConfig, DrainDecision};
 use crate::escalate::{EscalationConfig, EscalationEngine};
@@ -119,6 +120,7 @@ pub struct MaintenanceController {
     escalation: EscalationEngine,
     proactive: Option<ProactivePlanner>,
     predictor: Option<Predictor>,
+    journal: Journal,
 }
 
 impl MaintenanceController {
@@ -140,7 +142,14 @@ impl MaintenanceController {
             escalation,
             proactive,
             predictor,
+            journal: Journal::disabled(),
         }
+    }
+
+    /// Attach an event journal; repair-plan decisions are emitted into
+    /// it. Disabled by default (zero cost on the planning path).
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     /// Configuration.
@@ -192,6 +201,21 @@ impl MaintenanceController {
             clumsy,
             expected_duration,
             service_pairs,
+        );
+        self.journal.emit(
+            "plan",
+            &[
+                ("link", JVal::U(link.key())),
+                ("action", JVal::S(action.label())),
+                ("executor", JVal::S(executor.label())),
+                (
+                    "drain",
+                    JVal::S(match &drain {
+                        DrainDecision::Proceed(_) => "proceed",
+                        DrainDecision::Defer { .. } => "defer",
+                    }),
+                ),
+            ],
         );
         RepairPlan {
             action,

@@ -47,6 +47,23 @@ pub enum Executor {
     AutonomousRobot,
 }
 
+impl Executor {
+    /// Short label for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Executor::Human => "human",
+            Executor::HumanWithDevice => "human+device",
+            Executor::SupervisedRobot => "robot-supervised",
+            Executor::AutonomousRobot => "robot-auto",
+        }
+    }
+
+    /// Whether a robot (supervised or autonomous) does the hands-on work.
+    pub fn is_robotic(self) -> bool {
+        matches!(self, Executor::SupervisedRobot | Executor::AutonomousRobot)
+    }
+}
+
 impl AutomationLevel {
     /// All levels in order, for sweeps.
     pub const ALL: [AutomationLevel; 5] = [

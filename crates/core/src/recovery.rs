@@ -20,6 +20,7 @@
 //!   safety-zone claim (tested end-to-end in `tests/properties.rs`).
 
 use dcmaint_des::{SimDuration, Stream};
+use dcmaint_obs::{JVal, Journal};
 
 /// Watchdog deadline policy.
 #[derive(Debug, Clone)]
@@ -191,6 +192,30 @@ impl RecoveryPolicy {
         }
         RecoveryStep::QueueUntilFleetRecovers
     }
+
+    /// [`RecoveryPolicy::next_step`] plus a journal record of the
+    /// decision and the ladder state it was made from. Identical
+    /// control flow — the journal is a pure observer.
+    pub fn next_step_logged(
+        &self,
+        state: RecoveryState,
+        failed_unit_usable: bool,
+        other_unit_available: bool,
+        journal: &Journal,
+    ) -> RecoveryStep {
+        let step = self.next_step(state, failed_unit_usable, other_unit_available);
+        journal.emit(
+            "recovery-step",
+            &[
+                ("step", JVal::S(step.label())),
+                ("retries", JVal::U(u64::from(state.same_robot_retries))),
+                ("reassigns", JVal::U(u64::from(state.reassigns))),
+                ("unit_usable", JVal::B(failed_unit_usable)),
+                ("other_available", JVal::B(other_unit_available)),
+            ],
+        );
+        step
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +310,25 @@ mod tests {
         assert_eq!(
             unstaffed.next_step(reassigned, false, false),
             RecoveryStep::QueueUntilFleetRecovers
+        );
+    }
+
+    #[test]
+    fn logged_ladder_matches_and_journals() {
+        let p = RecoveryPolicy::default();
+        let j = Journal::enabled(8);
+        let fresh = RecoveryState::default();
+        let step = p.next_step_logged(fresh, true, true, &j);
+        assert_eq!(step, p.next_step(fresh, true, true));
+        let lines = j.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"ev\":\"recovery-step\""));
+        assert!(lines[1].contains("\"step\":\"retry-same\""));
+        // A disabled journal changes nothing.
+        let silent = Journal::disabled();
+        assert_eq!(
+            p.next_step_logged(fresh, true, true, &silent),
+            RecoveryStep::RetrySameRobot
         );
     }
 

@@ -32,6 +32,16 @@ impl LinkHealth {
     pub fn carries_traffic(self) -> bool {
         !matches!(self, LinkHealth::Down)
     }
+
+    /// Stable lowercase label for journals and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkHealth::Up => "up",
+            LinkHealth::Degraded => "degraded",
+            LinkHealth::Flapping => "flapping",
+            LinkHealth::Down => "down",
+        }
+    }
 }
 
 /// Administrative state, owned by the maintenance control plane.

@@ -84,6 +84,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// A point-in-time snapshot of scheduler state, for observability hooks:
+/// the clock plus queue depth and delivery count, readable in O(1) without
+/// disturbing the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Current simulation instant.
+    pub now: SimTime,
+    /// Events delivered so far.
+    pub delivered: u64,
+    /// Events still queued (including lazily-canceled ones).
+    pub pending: usize,
+}
+
 /// Deterministic discrete-event scheduler. See the crate docs for the
 /// event-loop pattern.
 pub struct Scheduler<E> {
@@ -147,6 +160,16 @@ impl<E> Scheduler<E> {
     /// True if no events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Snapshot clock, delivery count, and queue depth in one call —
+    /// the hook the observability plane stamps journal lines with.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            now: self.now,
+            delivered: self.delivered,
+            pending: self.heap.len(),
+        }
     }
 
     /// Schedule `payload` at absolute instant `at`. Scheduling in the past
@@ -334,6 +357,26 @@ mod tests {
         }
         while s.pop().is_some() {}
         assert_eq!(s.delivered(), 5);
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_clock_and_queue() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_micros(10), ());
+        s.schedule(SimTime::from_micros(20), ());
+        assert_eq!(
+            s.stats(),
+            SchedStats {
+                now: SimTime::ZERO,
+                delivered: 0,
+                pending: 2
+            }
+        );
+        s.pop();
+        let st = s.stats();
+        assert_eq!(st.now, SimTime::from_micros(10));
+        assert_eq!(st.delivered, 1);
+        assert_eq!(st.pending, 1);
     }
 
     #[test]

@@ -220,6 +220,20 @@ impl SampleSet {
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
+        if self.samples.len() == 2 {
+            // R-7 interpolation degenerates with two samples: every
+            // quantile lands on the single segment between them, so the
+            // p95 of {1 s, 100 s} reported ~95 s — a tail estimate with
+            // no sample support. Report the nearest order statistic
+            // instead (midpoint only at the median).
+            return if q < 0.5 {
+                self.samples[0]
+            } else if q > 0.5 {
+                self.samples[1]
+            } else {
+                (self.samples[0] + self.samples[1]) / 2.0
+            };
+        }
         let pos = q * (self.samples.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -453,6 +467,36 @@ mod tests {
         assert_eq!(s.median(), 3.0);
         assert_eq!(s.quantile(0.25), 2.0);
         assert!((s.quantile(0.9) - 4.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_sample_quantiles_stay_on_order_statistics() {
+        // One sample: every quantile is that sample.
+        let mut one = SampleSet::new();
+        one.record(7.0);
+        assert_eq!(one.quantile(0.05), 7.0);
+        assert_eq!(one.median(), 7.0);
+        assert_eq!(one.quantile(0.95), 7.0);
+        // Two samples: interpolating would invent a p95 of ~95.05 from
+        // {1, 100} with zero tail evidence. Pin the nearest-order-
+        // statistic behavior: below the median → low sample, above →
+        // high sample, median → midpoint.
+        let mut two = SampleSet::new();
+        two.record(100.0);
+        two.record(1.0);
+        assert_eq!(two.quantile(0.0), 1.0);
+        assert_eq!(two.quantile(0.25), 1.0);
+        assert_eq!(two.median(), 50.5);
+        assert_eq!(two.quantile(0.75), 100.0);
+        assert_eq!(two.quantile(0.95), 100.0);
+        assert_eq!(two.quantile(1.0), 100.0);
+        // Three samples go back to R-7 interpolation untouched.
+        let mut three = SampleSet::new();
+        for x in [1.0, 2.0, 3.0] {
+            three.record(x);
+        }
+        assert_eq!(three.median(), 2.0);
+        assert!((three.quantile(0.75) - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -58,6 +58,16 @@ impl Table {
         &self.title
     }
 
+    /// Column headers in declaration order.
+    pub fn headers(&self) -> Vec<&str> {
+        self.columns.iter().map(|(h, _)| h.as_str()).collect()
+    }
+
+    /// Raw data rows (cells as entered, before any rendering).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let ncols = self.columns.len();

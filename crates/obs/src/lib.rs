@@ -1,0 +1,125 @@
+//! # dcmaint-obs — deterministic observability for the maintenance plane
+//!
+//! The paper's quantitative claims are *timing attributions*: inspection
+//! under 30 s (C1), a full unplug→clean→replug operation in minutes
+//! (C2), the service window shrinking from days to minutes (C3). An
+//! aggregate report cannot attribute a window to its parts; this crate
+//! opens the control plane up so every incident decomposes into spans.
+//!
+//! Four pieces, all deterministic in simulated time:
+//!
+//! * [`Journal`] — a ring-buffered structured JSONL event log. Every
+//!   emitter (engine, controller, recovery ladder, robot fleet, ticket
+//!   board) holds a cheap clone of one handle. When disabled the handle
+//!   is a `None` and `emit` returns before touching anything: **zero
+//!   allocation, zero RNG, zero side effects**, so disabled runs are
+//!   byte-identical to an obs-free build.
+//! * [`TraceStore`] / [`IncidentTrace`] — per-incident span traces. An
+//!   incident's lifetime is recorded as a sequence of state-entry
+//!   events; the spans derived from consecutive events *tile* the
+//!   service window exactly (integer microseconds, no gaps, no
+//!   overlap), which is what lets experiments prove the end-to-end
+//!   window equals the sum of its phases.
+//! * [`ObsRegistry`] — global-free counters and fixed-bucket duration
+//!   histograms (ops by outcome, watchdog fires, escalations, per-phase
+//!   durations). Threaded through the engine by value; no statics, no
+//!   locks, no iteration-order nondeterminism.
+//! * [`WallProfile`] — wall-clock profiling of the engine hot loop,
+//!   keyed by event kind. Real-time measurements are inherently
+//!   nondeterministic, so they are quarantined: never mixed into
+//!   simulated-time output, dumped separately as `BENCH_obs.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod journal;
+mod registry;
+mod trace;
+mod wall;
+
+pub use journal::{JVal, Journal};
+pub use registry::{HistogramSnapshot, ObsRegistry};
+pub use trace::{IncidentTrace, Span, TraceStore};
+pub use wall::WallProfile;
+
+/// Configuration for the observability plane, carried by the scenario
+/// config. Default is fully disabled — the zero-cost, byte-identical
+/// mode every pre-existing experiment runs in.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch for the journal, traces, and registry.
+    pub enabled: bool,
+    /// Ring-buffer capacity of the journal in lines; older lines are
+    /// dropped (and counted) once full.
+    pub journal_capacity: usize,
+    /// Wall-clock profiling of the engine hot loop. Kept separate from
+    /// `enabled` because its output is nondeterministic by nature and
+    /// must never leak into seeded experiment output.
+    pub wall_profiling: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            journal_capacity: 1 << 16,
+            wall_profiling: false,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Enabled config with default capacity and no wall profiling.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// Everything the observability plane collected over one run. Attached
+/// to the run report only when obs was enabled, so disabled-mode
+/// reports (and their serialized forms) are unchanged.
+#[derive(Debug)]
+pub struct ObsReport {
+    /// Journal lines in emission order (a `journal-meta` header line
+    /// first, then the ring-buffer contents).
+    pub journal: Vec<String>,
+    /// Total lines emitted (including any dropped from the ring).
+    pub journal_emitted: u64,
+    /// Lines dropped once the ring filled.
+    pub journal_dropped: u64,
+    /// Per-incident span traces, in ticket-creation order.
+    pub traces: Vec<IncidentTrace>,
+    /// Counters and histograms.
+    pub registry: ObsRegistry,
+    /// Wall-clock hot-loop profile as a JSON object string, when
+    /// profiling ran. Nondeterministic; callers must keep it out of
+    /// seeded output (the CLI writes it to `BENCH_obs.json` only).
+    pub wall_json: Option<String>,
+}
+
+impl ObsReport {
+    /// Traces of closed reactive incidents — the set the E1 service
+    /// window statistics are computed over.
+    pub fn closed_reactive_traces(&self) -> impl Iterator<Item = &IncidentTrace> {
+        self.traces
+            .iter()
+            .filter(|t| t.closed.is_some() && t.reactive())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fully_disabled() {
+        let c = ObsConfig::default();
+        assert!(!c.enabled);
+        assert!(!c.wall_profiling);
+        assert!(c.journal_capacity > 0);
+        assert!(ObsConfig::enabled().enabled);
+    }
+}

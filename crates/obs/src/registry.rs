@@ -1,0 +1,288 @@
+//! Global-free counters and fixed-bucket duration histograms.
+//!
+//! No statics, no locks: one [`ObsRegistry`] value is threaded through
+//! the engine and read out of the run report. Keys are `&'static str`
+//! (the closed label vocabulary), so recording allocates only when a
+//! *new* series first appears — and nothing at all when disabled.
+//!
+//! Histogram buckets are fixed at construction (log-spaced, 100 ms to
+//! 3 days) so two runs bucket identically regardless of data order.
+
+use dcmaint_des::SimDuration;
+
+/// Fixed histogram bucket upper bounds, in microseconds.
+const BOUNDS_US: [u64; 14] = [
+    100_000,         // 100 ms
+    1_000_000,       // 1 s
+    5_000_000,       // 5 s
+    15_000_000,      // 15 s
+    30_000_000,      // 30 s
+    60_000_000,      // 1 min
+    300_000_000,     // 5 min
+    900_000_000,     // 15 min
+    1_800_000_000,   // 30 min
+    3_600_000_000,   // 1 h
+    14_400_000_000,  // 4 h
+    43_200_000_000,  // 12 h
+    86_400_000_000,  // 1 d
+    259_200_000_000, // 3 d
+];
+
+/// One duration histogram series, keyed `family/key` (for example
+/// `phase/grip` or `span/queued`).
+#[derive(Debug, Clone)]
+struct Hist {
+    family: &'static str,
+    key: &'static str,
+    counts: [u64; BOUNDS_US.len()],
+    overflow: u64,
+    total: u64,
+    sum_us: u64,
+}
+
+/// A read-only view of one histogram series for reports.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Series family (`phase`, `span`, `detect`, …).
+    pub family: &'static str,
+    /// Series key within the family.
+    pub key: &'static str,
+    /// Observation count.
+    pub total: u64,
+    /// Sum of observations.
+    pub sum: SimDuration,
+    /// `(bucket upper bound, count)` pairs, fixed bounds.
+    pub buckets: Vec<(SimDuration, u64)>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation; zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        match self.sum.as_micros().checked_div(self.total) {
+            Some(us) => SimDuration::from_micros(us),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters + histograms for one run. Disabled by default; a disabled
+/// registry records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ObsRegistry {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    hists: Vec<Hist>,
+}
+
+impl ObsRegistry {
+    /// A registry that records.
+    pub fn enabled() -> Self {
+        ObsRegistry {
+            enabled: true,
+            ..ObsRegistry::default()
+        }
+    }
+
+    /// A registry that ignores everything.
+    pub fn disabled() -> Self {
+        ObsRegistry::default()
+    }
+
+    /// Whether this registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        for c in &mut self.counters {
+            if c.0 == name {
+                c.1 += n;
+                return;
+            }
+        }
+        self.counters.push((name, n));
+    }
+
+    /// Read a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.0 == name)
+            .map_or(0, |c| c.1)
+    }
+
+    /// Record one duration observation into the `family/key` series.
+    pub fn observe(&mut self, family: &'static str, key: &'static str, d: SimDuration) {
+        if !self.enabled {
+            return;
+        }
+        let idx = self
+            .hists
+            .iter()
+            .position(|h| h.family == family && h.key == key)
+            .unwrap_or_else(|| {
+                self.hists.push(Hist {
+                    family,
+                    key,
+                    counts: [0; BOUNDS_US.len()],
+                    overflow: 0,
+                    total: 0,
+                    sum_us: 0,
+                });
+                self.hists.len() - 1
+            });
+        let h = &mut self.hists[idx];
+        let us = d.as_micros();
+        match BOUNDS_US.iter().position(|&b| us <= b) {
+            Some(i) => h.counts[i] += 1,
+            None => h.overflow += 1,
+        }
+        h.total += 1;
+        h.sum_us = h.sum_us.saturating_add(us);
+    }
+
+    /// All counters, sorted by name (deterministic regardless of
+    /// first-touch order).
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut out = self.counters.clone();
+        out.sort_by_key(|c| c.0);
+        out
+    }
+
+    /// All histogram series, sorted by `(family, key)`.
+    pub fn histograms_sorted(&self) -> Vec<HistogramSnapshot> {
+        let mut hists: Vec<&Hist> = self.hists.iter().collect();
+        hists.sort_by_key(|h| (h.family, h.key));
+        hists
+            .into_iter()
+            .map(|h| HistogramSnapshot {
+                family: h.family,
+                key: h.key,
+                total: h.total,
+                sum: SimDuration::from_micros(h.sum_us),
+                buckets: BOUNDS_US
+                    .iter()
+                    .zip(h.counts.iter())
+                    .map(|(&b, &c)| (SimDuration::from_micros(b), c))
+                    .collect(),
+                overflow: h.overflow,
+            })
+            .collect()
+    }
+
+    /// Render counters and histogram summaries as stable JSON lines
+    /// (one object per line), for appending to a journal dump.
+    pub fn snapshot_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (name, v) in self.counters_sorted() {
+            out.push(format!(
+                "{{\"ev\":\"counter\",\"name\":\"{name}\",\"value\":{v}}}"
+            ));
+        }
+        for h in self.histograms_sorted() {
+            out.push(format!(
+                "{{\"ev\":\"histogram\",\"family\":\"{}\",\"key\":\"{}\",\
+                 \"count\":{},\"sum_us\":{},\"overflow\":{}}}",
+                h.family,
+                h.key,
+                h.total,
+                h.sum.as_micros(),
+                h.overflow
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = ObsRegistry::disabled();
+        r.inc("x");
+        r.observe("phase", "grip", SimDuration::from_secs(3));
+        assert_eq!(r.counter("x"), 0);
+        assert!(r.histograms_sorted().is_empty());
+        assert!(r.snapshot_lines().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let mut r = ObsRegistry::enabled();
+        r.inc("zeta");
+        r.add("alpha", 4);
+        r.inc("zeta");
+        assert_eq!(r.counter("zeta"), 2);
+        assert_eq!(r.counter("alpha"), 4);
+        assert_eq!(r.counter("missing"), 0);
+        let names: Vec<_> = r.counters_sorted().iter().map(|c| c.0).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn histogram_buckets_fixed_and_exact() {
+        let mut r = ObsRegistry::enabled();
+        r.observe("phase", "grip", SimDuration::from_secs(3)); // ≤ 5 s
+        r.observe("phase", "grip", SimDuration::from_secs(3));
+        r.observe("phase", "grip", SimDuration::from_days(30)); // overflow
+        let hs = r.histograms_sorted();
+        assert_eq!(hs.len(), 1);
+        let h = &hs[0];
+        assert_eq!(h.total, 3);
+        assert_eq!(h.overflow, 1);
+        let five_s = h
+            .buckets
+            .iter()
+            .find(|(b, _)| *b == SimDuration::from_secs(5))
+            .unwrap();
+        assert_eq!(five_s.1, 2);
+        assert_eq!(
+            h.sum,
+            SimDuration::from_secs(6) + SimDuration::from_days(30)
+        );
+        assert!(h.mean() > SimDuration::from_days(9));
+    }
+
+    #[test]
+    fn series_are_keyed_by_family_and_key() {
+        let mut r = ObsRegistry::enabled();
+        r.observe("phase", "grip", SimDuration::from_secs(1));
+        r.observe("span", "grip", SimDuration::from_secs(1));
+        r.observe("phase", "insert", SimDuration::from_secs(1));
+        let keys: Vec<_> = r
+            .histograms_sorted()
+            .iter()
+            .map(|h| (h.family, h.key))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![("phase", "grip"), ("phase", "insert"), ("span", "grip")]
+        );
+    }
+
+    #[test]
+    fn snapshot_lines_are_stable() {
+        let mut r = ObsRegistry::enabled();
+        r.inc("ops");
+        r.observe("phase", "grip", SimDuration::from_secs(2));
+        let lines = r.snapshot_lines();
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"counter\",\"name\":\"ops\",\"value\":1}"
+        );
+        assert!(lines[1].contains("\"family\":\"phase\""));
+    }
+}

@@ -12,6 +12,7 @@
 
 use dcmaint_dcnet::{HallLayout, RackLoc};
 use dcmaint_des::{Dist, SimDuration, SimRng, SimTime, Stream};
+use dcmaint_obs::{JVal, Journal};
 
 use crate::ops::OpTimings;
 use crate::vision::VisionModel;
@@ -154,6 +155,7 @@ pub struct RobotFleet {
     pub vision: VisionModel,
     units: Vec<RobotUnit>,
     rng: Stream,
+    journal: Journal,
 }
 
 impl RobotFleet {
@@ -171,6 +173,7 @@ impl RobotFleet {
             vision: VisionModel::default(),
             units,
             rng: rng.stream("robot-fleet", 0),
+            journal: Journal::disabled(),
         }
     }
 
@@ -189,7 +192,15 @@ impl RobotFleet {
             vision: VisionModel::default(),
             units,
             rng: rng.stream("robot-fleet", 0),
+            journal: Journal::disabled(),
         }
+    }
+
+    /// Attach an event journal; unit-health transitions (degrade,
+    /// freeze, breakdown, repair) are emitted into it. Disabled by
+    /// default.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     /// Configuration.
@@ -312,6 +323,15 @@ impl RobotFleet {
     /// a human nudge, abort, jam). Idempotent; no effect on Down units'
     /// downtime.
     pub fn mark_degraded(&mut self, unit: usize) {
+        if !self.units[unit].degraded {
+            self.journal.emit(
+                "robot-health",
+                &[
+                    ("unit", JVal::U(unit as u64)),
+                    ("state", JVal::S("degraded")),
+                ],
+            );
+        }
         self.units[unit].degraded = true;
     }
 
@@ -324,6 +344,10 @@ impl RobotFleet {
         let far = now + SimDuration::from_days(365 * 100);
         let u = &mut self.units[unit];
         u.down_until = u.down_until.max(far);
+        self.journal.emit(
+            "robot-health",
+            &[("unit", JVal::U(unit as u64)), ("state", JVal::S("frozen"))],
+        );
     }
 
     /// Take a unit Down at `now` (mid-operation breakdown or a stall
@@ -339,6 +363,14 @@ impl RobotFleet {
         let u = &mut self.units[unit];
         u.down_until = u.down_until.max(now + repair);
         u.breakdowns += 1;
+        self.journal.emit(
+            "robot-health",
+            &[
+                ("unit", JVal::U(unit as u64)),
+                ("state", JVal::S("down")),
+                ("repair_us", JVal::U(repair.as_micros())),
+            ],
+        );
         repair
     }
 
@@ -348,6 +380,13 @@ impl RobotFleet {
         u.down_until = u.down_until.min(now);
         u.degraded = false;
         u.repairs += 1;
+        self.journal.emit(
+            "robot-health",
+            &[
+                ("unit", JVal::U(unit as u64)),
+                ("state", JVal::S("healthy")),
+            ],
+        );
     }
 
     /// Effective health of a unit at `now`.

@@ -1,9 +1,11 @@
 //! Regenerate every table and figure series in EXPERIMENTS.md at full
-//! size, printing text tables (default) or CSV (`--csv`).
+//! size, printing text tables (default), CSV (`--csv`), or JSONL
+//! (`--jsonl`).
 //!
 //! Usage:
 //!   experiments            # all experiments, text tables
 //!   experiments --csv      # all experiments, CSV blocks
+//!   experiments --jsonl    # all experiments, one JSON object per table
 //!   experiments e4 e8      # a subset
 //!   experiments e14 --quick  # CI-sized E14 (determinism check)
 //!
@@ -11,21 +13,18 @@
 
 use dcmaint_metrics::Table;
 use dcmaint_scenarios::experiments as exp;
+use dcmaint_scenarios::{ReportFormat, ReportWriter};
 
 const SEED: u64 = 2024;
 
-fn emit(t: &Table, csv: bool) {
-    if csv {
-        println!("# {}", t.title());
-        println!("{}", t.to_csv());
-    } else {
-        println!("{}", t.render());
-    }
+fn emit(w: &mut ReportWriter<std::io::Stdout>, t: &Table) {
+    w.emit(t).expect("write experiment table to stdout");
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let jsonl = args.iter().any(|a| a == "--jsonl");
     let quick = args.iter().any(|a| a == "--quick");
     let picks: Vec<&str> = args
         .iter()
@@ -33,62 +32,70 @@ fn main() {
         .map(String::as_str)
         .collect();
     let want = |name: &str| picks.is_empty() || picks.contains(&name);
+    let format = if jsonl {
+        ReportFormat::Jsonl
+    } else if csv {
+        ReportFormat::Csv
+    } else {
+        ReportFormat::Text
+    };
+    let mut w = ReportWriter::stdout(format);
 
     if want("e1") {
         let rows = exp::e1::run_experiment(&exp::e1::E1Params::full(SEED));
-        emit(&exp::e1::table(&rows), csv);
+        emit(&mut w, &exp::e1::table(&rows));
     }
     if want("e2") {
         let out = exp::e2::run_experiment(&exp::e2::E2Params::full(SEED));
-        emit(&exp::e2::table(&out), csv);
+        emit(&mut w, &exp::e2::table(&out));
     }
     if want("e3") {
         let rows = exp::e3::run_experiment(&exp::e3::E3Params::full(SEED));
-        emit(&exp::e3::table(&rows), csv);
+        emit(&mut w, &exp::e3::table(&rows));
     }
     if want("e4") {
         let rows = exp::e4::run_experiment(&exp::e4::E4Params::full(SEED));
-        emit(&exp::e4::table(&rows), csv);
+        emit(&mut w, &exp::e4::table(&rows));
     }
     if want("e5") {
         let rows = exp::e5::run_experiment(&exp::e5::E5Params::standard());
-        emit(&exp::e5::table(&rows), csv);
+        emit(&mut w, &exp::e5::table(&rows));
     }
     if want("e6") {
         let rows = exp::e6::run_experiment(&exp::e6::E6Params::full(SEED));
-        emit(&exp::e6::table(&rows), csv);
+        emit(&mut w, &exp::e6::table(&rows));
     }
     if want("e7") {
         let series = exp::e7::run_experiment(&exp::e7::E7Params::full(SEED));
-        emit(&exp::e7::table(&series), csv);
+        emit(&mut w, &exp::e7::table(&series));
     }
     if want("e8") {
         let rows = exp::e8::run_experiment(&exp::e8::E8Params::full(SEED));
-        emit(&exp::e8::table(&rows), csv);
+        emit(&mut w, &exp::e8::table(&rows));
     }
     if want("e9") {
         let rows = exp::e9::run_experiment(&exp::e9::E9Params::full(SEED));
-        emit(&exp::e9::table(&rows), csv);
+        emit(&mut w, &exp::e9::table(&rows));
     }
     if want("e10") {
         let rows = exp::e10::run_experiment(&exp::e10::E10Params::full(SEED));
-        emit(&exp::e10::table(&rows), csv);
+        emit(&mut w, &exp::e10::table(&rows));
     }
     if want("e11") {
         let out = exp::e11::run_experiment(&exp::e11::E11Params::full(SEED));
-        emit(&exp::e11::table(&out), csv);
+        emit(&mut w, &exp::e11::table(&out));
         emit(
+            &mut w,
             &exp::e11::weights_table(&exp::e11::E11Params::full(SEED)),
-            csv,
         );
     }
     if want("e12") {
         let rows = exp::e12::run_experiment(&exp::e12::E12Params::full(SEED));
-        emit(&exp::e12::table(&rows), csv);
+        emit(&mut w, &exp::e12::table(&rows));
     }
     if want("e13") {
         let rows = exp::e13::run_experiment(&exp::e13::E13Params::full(SEED));
-        emit(&exp::e13::table(&rows), csv);
+        emit(&mut w, &exp::e13::table(&rows));
     }
     if want("e14") {
         let p = if quick {
@@ -97,18 +104,27 @@ fn main() {
             exp::e14::E14Params::full(SEED)
         };
         let rows = exp::e14::run_experiment(&p);
-        emit(&exp::e14::table(&rows), csv);
+        emit(&mut w, &exp::e14::table(&rows));
     }
     if want("a1") || want("a2") || want("a3") {
         let p = exp::ablations::AblationParams::full(SEED);
         if want("a1") {
-            emit(&exp::ablations::a1_table(&exp::ablations::run_a1(&p)), csv);
+            emit(
+                &mut w,
+                &exp::ablations::a1_table(&exp::ablations::run_a1(&p)),
+            );
         }
         if want("a2") {
-            emit(&exp::ablations::a2_table(&exp::ablations::run_a2(&p)), csv);
+            emit(
+                &mut w,
+                &exp::ablations::a2_table(&exp::ablations::run_a2(&p)),
+            );
         }
         if want("a3") {
-            emit(&exp::ablations::a3_table(&exp::ablations::run_a3(&p)), csv);
+            emit(
+                &mut w,
+                &exp::ablations::a3_table(&exp::ablations::run_a3(&p)),
+            );
         }
     }
 }

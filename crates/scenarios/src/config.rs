@@ -10,6 +10,7 @@ use dcmaint_dcnet::{DiversityProfile, Topology};
 use dcmaint_des::{SimDuration, SimRng};
 use dcmaint_faults::{Environment, FaultConfig, RobotFaultConfig};
 use dcmaint_metrics::CostModel;
+use dcmaint_obs::ObsConfig;
 use dcmaint_robotics::FleetConfig;
 use dcmaint_tickets::TechConfig;
 use maintctl::{AutomationLevel, ControllerConfig, RecoveryPolicy};
@@ -136,6 +137,11 @@ pub struct ScenarioConfig {
     /// degradation ladder down to humans. `recovery.enabled = false` is
     /// the E14 ablation — failed robot work is simply abandoned.
     pub recovery: RecoveryPolicy,
+    /// Observability plane: span traces, event journal, counters, and
+    /// wall-clock profiling. Disabled by default — a disabled plane
+    /// makes zero allocations and zero RNG draws, so seeded runs stay
+    /// byte-identical to the pre-obs engine.
+    pub obs: ObsConfig,
 }
 
 /// One scripted incident for failure-injection runs.
@@ -184,6 +190,7 @@ impl ScenarioConfig {
             coordinate_drains: true,
             robot_faults: RobotFaultConfig::default(),
             recovery: RecoveryPolicy::default(),
+            obs: ObsConfig::default(),
         }
     }
 

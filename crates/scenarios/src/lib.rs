@@ -13,7 +13,9 @@ pub mod config;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod writer;
 
 pub use config::{ScenarioConfig, ScriptedIncident, TopologySpec};
 pub use engine::run;
 pub use report::{ActionStats, RunReport};
+pub use writer::{ReportFormat, ReportWriter};

@@ -9,8 +9,12 @@ use std::collections::HashMap;
 use dcmaint_des::{SimDuration, SimTime};
 use dcmaint_faults::RepairAction;
 use dcmaint_metrics::{CostLedger, DurationSamples, FleetSummary};
+use dcmaint_obs::ObsReport;
 use maintctl::PredictionStats;
 use serde_json::json;
+
+/// One aggregated depth-0 span row: `(kind, count, total duration)`.
+pub type SpanRow = (&'static str, u64, SimDuration);
 
 /// Per-action outcome tallies.
 #[derive(Debug, Clone, Default)]
@@ -134,6 +138,10 @@ pub struct RunReport {
     /// Drained links owned by no in-flight repair at the horizon.
     /// Ditto: always zero.
     pub drains_leaked: u64,
+    /// Observability capture (journal, traces, counters): present only
+    /// when the run enabled the obs plane. `None` keeps disabled-mode
+    /// reports — and their JSON — byte-identical to the pre-obs engine.
+    pub obs: Option<ObsReport>,
 }
 
 impl RunReport {
@@ -173,6 +181,117 @@ impl RunReport {
     /// Machine-readable summary of the run (stable field names; used by
     /// tooling that consumes CLI output).
     pub fn summary_json(&mut self) -> serde_json::Value {
+        let mut j = self.summary_json_base();
+        // The "obs" key exists only when the run captured observability,
+        // so disabled-mode JSON stays byte-identical to the pre-obs CLI.
+        if let Some(obs) = &self.obs {
+            let counters: serde_json::Map<String, serde_json::Value> = obs
+                .registry
+                .counters_sorted()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), json!(v)))
+                .collect();
+            let hists: serde_json::Map<String, serde_json::Value> = obs
+                .registry
+                .histograms_sorted()
+                .into_iter()
+                .map(|h| {
+                    (
+                        format!("{}/{}", h.family, h.key),
+                        json!({
+                            "count": h.total,
+                            "sum_us": h.sum.as_micros(),
+                            "mean_s": h.mean().as_secs_f64(),
+                            "overflow": h.overflow,
+                        }),
+                    )
+                })
+                .collect();
+            let exact = obs.closed_reactive_traces().all(|t| t.tiles_exactly());
+            let obs_json = json!({
+                "journal": {
+                    "emitted": obs.journal_emitted,
+                    "dropped": obs.journal_dropped,
+                    "kept": obs.journal.len(),
+                },
+                "traces": {
+                    "total": obs.traces.len(),
+                    "closed_reactive": obs.closed_reactive_traces().count(),
+                    "windows_tile_exactly": exact,
+                },
+                "counters": counters,
+                "histograms": hists,
+            });
+            if let serde_json::Value::Object(map) = &mut j {
+                map.insert("obs".to_string(), obs_json);
+            }
+        }
+        j
+    }
+
+    /// Aggregate depth-0 span durations across closed reactive traces:
+    /// `(kind, count, total)` rows plus the summed service window. The
+    /// rows' total equals the window total exactly — the E1 breakdown
+    /// invariant — because spans tile each window in integer micros.
+    pub fn span_breakdown(&self) -> Option<(Vec<SpanRow>, SimDuration)> {
+        let obs = self.obs.as_ref()?;
+        let mut rows: Vec<SpanRow> = Vec::new();
+        let mut window_total = SimDuration::ZERO;
+        for t in obs.closed_reactive_traces() {
+            window_total += t.window().unwrap_or(SimDuration::ZERO);
+            for s in t.spans().into_iter().filter(|s| s.depth == 0) {
+                match rows.iter_mut().find(|r| r.0 == s.kind) {
+                    Some(r) => {
+                        r.1 += 1;
+                        r.2 += s.duration();
+                    }
+                    None => rows.push((s.kind, 1, s.duration())),
+                }
+            }
+        }
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+        Some((rows, window_total))
+    }
+
+    /// Render [`RunReport::span_breakdown`] as an aligned text table
+    /// (empty string when obs was disabled or captured no traces).
+    pub fn span_breakdown_table(&self) -> String {
+        let Some((rows, total)) = self.span_breakdown() else {
+            return String::new();
+        };
+        if rows.is_empty() {
+            return String::new();
+        }
+        let sum = rows.iter().fold(SimDuration::ZERO, |acc, r| acc + r.2);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>14} {:>7}\n",
+            "span", "count", "total_h", "share"
+        ));
+        for (kind, count, dur) in &rows {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>14.3} {:>6.1}%\n",
+                kind,
+                count,
+                dur.as_hours_f64(),
+                if total.is_zero() {
+                    0.0
+                } else {
+                    100.0 * dur.as_secs_f64() / total.as_secs_f64()
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>14.3} {:>7}\n",
+            "= windows",
+            "",
+            total.as_hours_f64(),
+            if sum == total { "exact" } else { "GAP!" }
+        ));
+        out
+    }
+
+    fn summary_json_base(&mut self) -> serde_json::Value {
         let median = self.median_service_window().as_secs_f64();
         let p95 = self.p95_service_window().as_secs_f64();
         let actions: serde_json::Value = RepairAction::LADDER
@@ -303,6 +422,7 @@ mod tests {
             recovery_queued: 0,
             zone_claims_leaked: 0,
             drains_leaked: 0,
+            obs: None,
         };
         let j = r.summary_json();
         for key in [

@@ -247,6 +247,40 @@ mod tests {
         assert_eq!(a.kind, AlertKind::LinkDown);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+
+        // The hysteresis invariant §2 motivates: however a single flap
+        // episode is shaped — any number of transitions (at or past the
+        // flap threshold), any spacing — it produces exactly ONE alert,
+        // never a ticket storm. The episode is kept shorter than the
+        // 30-minute re-arm hold-off so the detector cannot legitimately
+        // re-escalate mid-episode (40 transitions × ≤30 s ≤ 20 min).
+        #[test]
+        fn one_flap_episode_yields_exactly_one_alert(
+            gaps in proptest::prop::collection::vec(1u64..31, 4..41),
+        ) {
+            let (mut d, mut c) = setup();
+            let mut now_s = 0u64;
+            let mut alerts = 0usize;
+            let mut first_at = None;
+            for (i, gap) in gaps.iter().enumerate() {
+                now_s += gap;
+                c.record_transition(t(now_s));
+                if let Some(a) = d.evaluate(LinkId(0), &mut c, 0.0, t(now_s)) {
+                    proptest::prop_assert_eq!(a.kind, AlertKind::Flapping);
+                    alerts += 1;
+                    first_at = first_at.or(Some(i));
+                }
+            }
+            proptest::prop_assert_eq!(alerts, 1);
+            // It fired the moment the threshold was crossed (4th
+            // transition, index 3) — not late, not early.
+            proptest::prop_assert_eq!(first_at, Some(3));
+            proptest::prop_assert!(!d.is_armed());
+        }
+    }
+
     #[test]
     fn gray_severity_scales_with_loss() {
         let (mut d1, mut c1) = setup();

@@ -15,6 +15,7 @@
 use dcmaint_dcnet::LinkId;
 use dcmaint_des::{SimDuration, SimTime};
 use dcmaint_faults::RepairAction;
+use dcmaint_obs::{JVal, Journal};
 
 /// Why a ticket was opened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,12 +175,20 @@ pub struct TicketBoard {
     tickets: Vec<Ticket>,
     open_by_link: std::collections::HashMap<LinkId, TicketId>,
     next_id: u64,
+    journal: Journal,
 }
 
 impl TicketBoard {
     /// Empty board.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach an event journal; board lifecycle transitions (open,
+    /// attempt, close) will be emitted into it. A disabled journal
+    /// (the default) keeps the board allocation-free on these paths.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     /// Open a ticket for a link, unless one is already open (real fleets
@@ -208,6 +217,15 @@ impl TicketBoard {
             closed: None,
         });
         self.open_by_link.insert(link, id);
+        self.journal.emit(
+            "ticket-open",
+            &[
+                ("ticket", JVal::U(id.0)),
+                ("link", JVal::U(link.key())),
+                ("trigger", JVal::S(trigger.label())),
+                ("priority", JVal::S(priority.label())),
+            ],
+        );
         (id, true)
     }
 
@@ -228,6 +246,19 @@ impl TicketBoard {
 
     /// Record a repair attempt.
     pub fn record_attempt(&mut self, id: TicketId, attempt: AttemptRecord) {
+        self.journal.emit(
+            "ticket-attempt",
+            &[
+                ("ticket", JVal::U(id.0)),
+                ("action", JVal::S(attempt.action.label())),
+                ("fixed", JVal::B(attempt.fixed)),
+                ("robotic", JVal::B(attempt.robotic)),
+                (
+                    "hands_on_us",
+                    JVal::U(attempt.finished.since(attempt.started).as_micros()),
+                ),
+            ],
+        );
         let t = self.get_mut(id);
         t.attempts.push(attempt);
         t.state = TicketState::Resolving;
@@ -253,7 +284,19 @@ impl TicketBoard {
             TicketState::Closed
         };
         t.closed = Some(now);
+        let window = t.service_window().unwrap_or(SimDuration::ZERO);
+        let attempts = t.attempts.len() as u64;
         self.open_by_link.remove(&link);
+        self.journal.emit(
+            "ticket-close",
+            &[
+                ("ticket", JVal::U(id.0)),
+                ("link", JVal::U(link.key())),
+                ("spurious", JVal::B(spurious)),
+                ("attempts", JVal::U(attempts)),
+                ("window_us", JVal::U(window.as_micros())),
+            ],
+        );
     }
 
     /// All tickets (open and closed), in creation order.

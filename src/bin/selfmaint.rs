@@ -6,6 +6,14 @@
 //! selfmaint advise --mtbf-days 60 --mttr-mins 10 --need 8 --target 0.9999
 //! selfmaint topo   [--seed 42]          # self-maintainability report
 //! selfmaint levels                      # print the automation taxonomy
+//! selfmaint trace  [--level L3] [--days 14] [--seed 42] [--incident N]
+//!                  [--journal PATH] [--bench-obs]
+//!                  # run with the observability plane on: incident index,
+//!                  # service-window span breakdown, one incident's span
+//!                  # tree (--incident), the JSONL journal (--journal),
+//!                  # and wall-clock profiling to BENCH_obs.json
+//!                  # (--bench-obs; kept off stdout so the deterministic
+//!                  # output stays byte-reproducible)
 //! ```
 //!
 //! Arguments are parsed by hand — the CLI surface is small and the
@@ -22,10 +30,12 @@ fn main() {
         Some("advise") => cmd_advise(&args[1..]),
         Some("topo") => cmd_topo(&args[1..]),
         Some("levels") => cmd_levels(),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: selfmaint <run|advise|topo|levels> [options]\n\
-                 try: selfmaint run --level L3 --days 30"
+                "usage: selfmaint <run|advise|topo|levels|trace> [options]\n\
+                 try: selfmaint run --level L3 --days 30\n\
+                 or:  selfmaint trace --days 14 --incident 0"
             );
             std::process::exit(2);
         }
@@ -232,6 +242,99 @@ fn cmd_topo(args: &[String]) {
         ]);
     }
     print!("{}", t.render());
+}
+
+fn cmd_trace(args: &[String]) {
+    let level = parse_level(opt(args, "--level").unwrap_or("L3"));
+    let days: u64 = opt(args, "--days").unwrap_or("14").parse().unwrap_or(14);
+    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let incident: Option<usize> = opt(args, "--incident").and_then(|s| s.parse().ok());
+    let bench = flag(args, "--bench-obs");
+
+    let mut cfg = ScenarioConfig::at_level(seed, level);
+    cfg.duration = SimDuration::from_days(days);
+    cfg.obs = ObsConfig::enabled();
+    cfg.obs.wall_profiling = bench;
+
+    eprintln!(
+        "tracing {days} simulated days at {} (seed {seed})…",
+        level.label()
+    );
+    let report = selfmaint::scenarios::run(cfg);
+    let obs = report.obs.as_ref().expect("obs plane was enabled");
+
+    let mut t = Table::new(
+        &format!("closed reactive incidents — {} days, seed {seed}", days),
+        &[
+            ("#", Align::Right),
+            ("ticket", Align::Right),
+            ("link", Align::Right),
+            ("trigger", Align::Left),
+            ("priority", Align::Left),
+            ("detect", Align::Right),
+            ("window", Align::Right),
+            ("tiles", Align::Left),
+        ],
+    );
+    for (i, tr) in obs.closed_reactive_traces().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            tr.ticket.to_string(),
+            tr.link.to_string(),
+            tr.trigger.to_string(),
+            tr.priority.to_string(),
+            tr.detect_latency()
+                .map_or_else(|| "-".into(), |d| d.to_string()),
+            tr.window().map_or_else(|| "-".into(), |w| w.to_string()),
+            if tr.tiles_exactly() { "exact" } else { "GAP!" }.into(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    print!("{}", report.span_breakdown_table());
+
+    if let Some(n) = incident {
+        match obs.closed_reactive_traces().nth(n) {
+            Some(tr) => {
+                println!();
+                print!("{}", tr.render_tree());
+            }
+            None => {
+                eprintln!(
+                    "no closed reactive incident #{n} in this run \
+                     (see the index table for valid values)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = opt(args, "--journal") {
+        let mut body = obs.journal.join("\n");
+        body.push('\n');
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write journal to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "journal: {} lines written to {path} ({} emitted, {} dropped)",
+            obs.journal.len(),
+            obs.journal_emitted,
+            obs.journal_dropped
+        );
+    }
+
+    if bench {
+        let wall = obs.wall_json.as_deref().unwrap_or("{}");
+        std::fs::write("BENCH_obs.json", wall).unwrap_or_else(|e| {
+            eprintln!("cannot write BENCH_obs.json: {e}");
+            std::process::exit(1);
+        });
+        // Written to a side file and announced on stderr only: wall-clock
+        // numbers vary run to run and must never contaminate the
+        // deterministic stdout.
+        eprintln!("wall-clock profile written to BENCH_obs.json");
+    }
 }
 
 fn cmd_levels() {

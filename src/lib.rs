@@ -36,6 +36,7 @@
 //! | [`tickets`] | `dcmaint-tickets` | ticket board, technician pool |
 //! | [`robotics`] | `dcmaint-robotics` | robot ops, vision, fleet |
 //! | [`control`] | `maintctl` | **the paper's contribution**: levels, escalation, drains, proactive, predictive, provisioning |
+//! | [`obs`] | `dcmaint-obs` | incident span traces, event journal, counters/histograms |
 //! | [`topomaint`] | `dcmaint-topomaint` | self-maintainability metric |
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
 //! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11 |
@@ -47,7 +48,9 @@
 //! * `cleaning_robot` — Figure 2's pipeline, phase by phase;
 //! * `proactive_campaign` — §4's predictive/proactive loop;
 //! * `topology_report` — §4's self-maintainability metric across
-//!   fat-tree / leaf-spine / Jellyfish / Xpander.
+//!   fat-tree / leaf-spine / Jellyfish / Xpander;
+//! * `incident_trace` — the observability plane: one cascade incident's
+//!   full span tree, journal excerpt, and window decomposition.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +59,7 @@ pub use dcmaint_dcnet as net;
 pub use dcmaint_des as des;
 pub use dcmaint_faults as faults;
 pub use dcmaint_metrics as metrics;
+pub use dcmaint_obs as obs;
 pub use dcmaint_robotics as robotics;
 pub use dcmaint_scenarios as scenarios;
 pub use dcmaint_telemetry as telemetry;
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use dcmaint_des::{Dist, Scheduler, SimDuration, SimRng, SimTime};
     pub use dcmaint_faults::{RepairAction, RootCause};
     pub use dcmaint_metrics::Table;
+    pub use dcmaint_obs::ObsConfig;
     pub use dcmaint_scenarios::{RunReport, ScenarioConfig, TopologySpec};
     pub use maintctl::{AutomationLevel, ControllerConfig, MaintenanceController};
 }

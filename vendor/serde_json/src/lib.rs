@@ -73,6 +73,11 @@ impl Map<String, Value> {
         self.inner.get(key)
     }
 
+    /// Remove a key, returning its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.inner.remove(key)
+    }
+
     /// Whether the map has no entries.
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()

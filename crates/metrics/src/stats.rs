@@ -263,6 +263,162 @@ impl SampleSet {
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.samples.iter().copied()
     }
+
+    /// Sample variance (n−1 denominator); 0.0 with fewer than two
+    /// observations. This is the estimator CI computation needs, as
+    /// opposed to [`StreamingStats::variance`]'s population variance.
+    pub fn sample_variance(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.samples
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64
+    }
+
+    /// Sample standard deviation (n−1 denominator).
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Mean with a two-sided 95% confidence half-width, t-distribution
+    /// small-n aware. See [`mean_ci95`] for the degenerate-case contract.
+    pub fn mean_ci95(&self) -> Ci95 {
+        mean_ci95(&self.samples)
+    }
+}
+
+/// A mean with a symmetric 95% confidence half-width.
+///
+/// Produced by [`mean_ci95`] / [`SampleSet::mean_ci95`]. `half` is
+/// `f64::INFINITY` when the sample provides no interval (n ≤ 1): one
+/// observation pins a point estimate but says nothing about spread, and
+/// rendering pretends otherwise. Callers render via [`Ci95::cell`],
+/// which drops the interval in that case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ci95 {
+    /// Observations the estimate is based on.
+    pub n: u64,
+    /// Sample mean (0.0 when empty).
+    pub mean: f64,
+    /// 95% half-width: `t₀.₉₇₅,ₙ₋₁ · s/√n`; `INFINITY` for n ≤ 1.
+    pub half: f64,
+}
+
+impl Ci95 {
+    /// Table-cell rendering: `"mean ±half"` with `digits` decimals, or
+    /// just `"mean"` when no finite interval exists (n ≤ 1).
+    pub fn cell(&self, digits: usize) -> String {
+        if self.half.is_finite() {
+            format!(
+                "{} ±{}",
+                crate::table::fnum(self.mean, digits),
+                crate::table::fnum(self.half, digits)
+            )
+        } else {
+            crate::table::fnum(self.mean, digits)
+        }
+    }
+}
+
+/// Two-sided 97.5th-percentile Student-t critical values, by degrees of
+/// freedom. Exact table through df = 30, then the conventional 40/60/120
+/// rungs; beyond 120 the normal limit 1.96 is used. Lookup picks the
+/// largest tabulated df ≤ the actual df, which rounds the interval
+/// *wider* — conservative, never anti-conservative.
+const T_975: [(u64, f64); 34] = [
+    (1, 12.706),
+    (2, 4.303),
+    (3, 3.182),
+    (4, 2.776),
+    (5, 2.571),
+    (6, 2.447),
+    (7, 2.365),
+    (8, 2.306),
+    (9, 2.262),
+    (10, 2.228),
+    (11, 2.201),
+    (12, 2.179),
+    (13, 2.160),
+    (14, 2.145),
+    (15, 2.131),
+    (16, 2.120),
+    (17, 2.110),
+    (18, 2.101),
+    (19, 2.093),
+    (20, 2.086),
+    (21, 2.080),
+    (22, 2.074),
+    (23, 2.069),
+    (24, 2.064),
+    (25, 2.060),
+    (26, 2.056),
+    (27, 2.052),
+    (28, 2.048),
+    (29, 2.045),
+    (30, 2.042),
+    (40, 2.021),
+    (60, 2.000),
+    (120, 1.980),
+    (u64::MAX, 1.960),
+];
+
+/// Critical t value for a two-sided 95% interval with `df` degrees of
+/// freedom (`df = 0` is never queried; returns the df=1 value).
+fn t_crit_975(df: u64) -> f64 {
+    let mut t = T_975[0].1;
+    for &(d, v) in &T_975 {
+        if d <= df {
+            t = v;
+        } else {
+            break;
+        }
+    }
+    // df beyond 120 uses the normal limit.
+    if df > 120 {
+        t = 1.960;
+    }
+    t
+}
+
+/// Mean ± 95% CI of a sample, t-distribution small-n aware.
+///
+/// Degenerate cases, pinned by tests:
+/// * `n = 0` → mean 0.0, half `INFINITY` (no estimate at all);
+/// * `n = 1` → mean = the sample, half `INFINITY` (a point estimate with
+///   no spread information — rendering an interval would be a lie);
+/// * `n = 2` → the honest but enormous df=1 interval (t = 12.706).
+///
+/// Non-finite samples are ignored, mirroring the rest of this module.
+pub fn mean_ci95(samples: &[f64]) -> Ci95 {
+    let xs: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    let n = xs.len();
+    if n == 0 {
+        return Ci95 {
+            n: 0,
+            mean: 0.0,
+            half: f64::INFINITY,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Ci95 {
+            n: 1,
+            mean,
+            half: f64::INFINITY,
+        };
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let se = (var / n as f64).sqrt();
+    Ci95 {
+        n: n as u64,
+        mean,
+        half: t_crit_975(n as u64 - 1) * se,
+    }
 }
 
 /// A [`SampleSet`] of durations, stored as seconds. Thin wrapper that keeps
@@ -544,6 +700,69 @@ mod tests {
             .find(|(b, _)| *b == SimDuration::from_secs(60))
             .unwrap();
         assert_eq!(min_bucket.1, 1);
+    }
+
+    #[test]
+    fn ci95_known_reference_values() {
+        // n = 5, {1,2,3,4,5}: mean 3, s² = 2.5, se = √0.5 ≈ 0.70711,
+        // t₀.₉₇₅,₄ = 2.776 → half ≈ 1.96294 (reference value from any
+        // t-table walkthrough of this textbook sample).
+        let ci = mean_ci95(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(ci.n, 5);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!(
+            (ci.half - 2.776 * (0.5f64).sqrt()).abs() < 1e-9,
+            "half {}",
+            ci.half
+        );
+        assert!((ci.half - 1.96294).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ci95_degenerate_n1_and_n2() {
+        // n = 0: no estimate.
+        let none = mean_ci95(&[]);
+        assert_eq!(none.n, 0);
+        assert_eq!(none.mean, 0.0);
+        assert!(none.half.is_infinite());
+        // n = 1: point estimate, no interval.
+        let one = mean_ci95(&[7.25]);
+        assert_eq!(one.n, 1);
+        assert_eq!(one.mean, 7.25);
+        assert!(one.half.is_infinite());
+        assert_eq!(one.cell(2), "7.25");
+        // n = 2, {1,3}: mean 2, s = √2, se = 1, t₀.₉₇₅,₁ = 12.706 →
+        // half = 12.706 exactly (se is exactly 1 here).
+        let two = mean_ci95(&[1.0, 3.0]);
+        assert_eq!(two.n, 2);
+        assert!((two.mean - 2.0).abs() < 1e-12);
+        assert!((two.half - 12.706).abs() < 1e-9, "half {}", two.half);
+        assert_eq!(two.cell(1), "2.0 ±12.7");
+    }
+
+    #[test]
+    fn ci95_t_table_brackets_conservatively() {
+        // df 30 → 2.042; df 31..39 must reuse 2.042 (wider than the true
+        // value, never narrower); df 40 → 2.021; df ≥ 121 → 1.96.
+        assert!((t_crit_975(30) - 2.042).abs() < 1e-12);
+        assert!((t_crit_975(35) - 2.042).abs() < 1e-12);
+        assert!((t_crit_975(40) - 2.021).abs() < 1e-12);
+        assert!((t_crit_975(119) - 2.000).abs() < 1e-12);
+        assert!((t_crit_975(121) - 1.960).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci95_ignores_non_finite_and_matches_sample_set() {
+        let ci = mean_ci95(&[1.0, f64::NAN, 2.0, f64::INFINITY, 3.0]);
+        assert_eq!(ci.n, 3);
+        assert!((ci.mean - 2.0).abs() < 1e-12);
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.record(x);
+        }
+        assert_eq!(s.mean_ci95(), ci);
+        assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+        assert!((s.sample_stddev() - 1.0).abs() < 1e-12);
     }
 
     #[test]

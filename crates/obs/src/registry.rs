@@ -181,6 +181,47 @@ impl ObsRegistry {
             .collect()
     }
 
+    /// Fold another registry into this one: counters sum by name,
+    /// histogram series merge by `(family, key)` — bucket counts add
+    /// elementwise (bounds are fixed, so this is exact), overflow and
+    /// totals add, and `sum_us` saturates like [`observe`](Self::observe).
+    ///
+    /// A disabled `other` contributes nothing; merging *into* a disabled
+    /// registry is a no-op (the disabled contract wins). Used by the
+    /// sweep engine to aggregate observability across seed replicates.
+    pub fn merge(&mut self, other: &ObsRegistry) {
+        if !self.enabled || !other.enabled {
+            return;
+        }
+        for &(name, v) in &other.counters {
+            self.add(name, v);
+        }
+        for oh in &other.hists {
+            let idx = self
+                .hists
+                .iter()
+                .position(|h| h.family == oh.family && h.key == oh.key)
+                .unwrap_or_else(|| {
+                    self.hists.push(Hist {
+                        family: oh.family,
+                        key: oh.key,
+                        counts: [0; BOUNDS_US.len()],
+                        overflow: 0,
+                        total: 0,
+                        sum_us: 0,
+                    });
+                    self.hists.len() - 1
+                });
+            let h = &mut self.hists[idx];
+            for (c, oc) in h.counts.iter_mut().zip(oh.counts.iter()) {
+                *c += oc;
+            }
+            h.overflow += oh.overflow;
+            h.total += oh.total;
+            h.sum_us = h.sum_us.saturating_add(oh.sum_us);
+        }
+    }
+
     /// Render counters and histogram summaries as stable JSON lines
     /// (one object per line), for appending to a journal dump.
     pub fn snapshot_lines(&self) -> Vec<String> {
@@ -271,6 +312,58 @@ mod tests {
             keys,
             vec![("phase", "grip"), ("phase", "insert"), ("span", "grip")]
         );
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = ObsRegistry::enabled();
+        a.inc("ops");
+        a.observe("phase", "grip", SimDuration::from_secs(3));
+        let mut b = ObsRegistry::enabled();
+        b.add("ops", 2);
+        b.inc("faults");
+        b.observe("phase", "grip", SimDuration::from_secs(3));
+        b.observe("phase", "grip", SimDuration::from_days(30)); // overflow
+        b.observe("span", "queued", SimDuration::from_secs(1));
+
+        a.merge(&b);
+        assert_eq!(a.counter("ops"), 3);
+        assert_eq!(a.counter("faults"), 1);
+        let hs = a.histograms_sorted();
+        assert_eq!(
+            hs.iter().map(|h| (h.family, h.key)).collect::<Vec<_>>(),
+            vec![("phase", "grip"), ("span", "queued")]
+        );
+        let grip = &hs[0];
+        assert_eq!(grip.total, 3);
+        assert_eq!(grip.overflow, 1);
+        assert_eq!(
+            grip.sum,
+            SimDuration::from_secs(6) + SimDuration::from_days(30)
+        );
+        // Merging is equivalent to having observed everything in one
+        // registry: bucket-exact because bounds are fixed.
+        let five_s = grip
+            .buckets
+            .iter()
+            .find(|(bnd, _)| *bnd == SimDuration::from_secs(5))
+            .unwrap();
+        assert_eq!(five_s.1, 2);
+    }
+
+    #[test]
+    fn merge_respects_disabled_contract() {
+        let mut off = ObsRegistry::disabled();
+        let mut on = ObsRegistry::enabled();
+        on.inc("ops");
+        off.merge(&on);
+        assert_eq!(off.counter("ops"), 0);
+        assert!(!off.is_enabled());
+
+        let mut a = ObsRegistry::enabled();
+        a.inc("ops");
+        a.merge(&ObsRegistry::disabled());
+        assert_eq!(a.counter("ops"), 1);
     }
 
     #[test]

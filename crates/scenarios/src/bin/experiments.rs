@@ -3,35 +3,68 @@
 //! (`--jsonl`).
 //!
 //! Usage:
-//!   experiments            # all experiments, text tables
-//!   experiments --csv      # all experiments, CSV blocks
-//!   experiments --jsonl    # all experiments, one JSON object per table
-//!   experiments e4 e8      # a subset
-//!   experiments e14 --quick  # CI-sized E14 (determinism check)
+//!   experiments                    # all experiments, text tables
+//!   experiments --csv              # all experiments, CSV blocks
+//!   experiments --jsonl            # all experiments, one JSON object per table
+//!   experiments e4 e8              # a subset
+//!   experiments e14 --quick        # CI-sized E14 (determinism check)
+//!   experiments --seeds 8 --jobs 4 # 8 seed replicates per experiment,
+//!                                  # mean ±95% CI columns, 4 workers
 //!
-//! A fixed seed (2024) makes the output byte-reproducible.
+//! A fixed base seed (2024, override with `--seed`) makes the output
+//! byte-reproducible — including across `--jobs` values: the sweep pool
+//! merges results in canonical order, so `--jobs 1` and `--jobs N`
+//! print identical bytes.
 
-use dcmaint_metrics::Table;
-use dcmaint_scenarios::experiments as exp;
+use dcmaint_scenarios::cli::{flag, parse_opt_or_exit};
+use dcmaint_scenarios::sweep;
 use dcmaint_scenarios::{ReportFormat, ReportWriter};
 
 const SEED: u64 = 2024;
 
-fn emit(w: &mut ReportWriter<std::io::Stdout>, t: &Table) {
-    w.emit(t).expect("write experiment table to stdout");
-}
+/// Flags that consume the following argument (their values must not be
+/// mistaken for experiment picks).
+const VALUE_FLAGS: [&str; 3] = ["--seeds", "--jobs", "--seed"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let jsonl = args.iter().any(|a| a == "--jsonl");
-    let quick = args.iter().any(|a| a == "--quick");
-    let picks: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let want = |name: &str| picks.is_empty() || picks.contains(&name);
+    let csv = flag(&args, "--csv");
+    let jsonl = flag(&args, "--jsonl");
+    let quick = flag(&args, "--quick");
+    let seeds: u64 = parse_opt_or_exit(&args, "--seeds", 1);
+    let jobs: usize = parse_opt_or_exit(&args, "--jobs", 1);
+    let seed: u64 = parse_opt_or_exit(&args, "--seed", SEED);
+
+    let mut picks: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        picks.push(a);
+        i += 1;
+    }
+    for p in &picks {
+        if !sweep::is_experiment(p) {
+            eprintln!("unknown experiment {p:?} (known: e1..e14, a1..a3)");
+            std::process::exit(2);
+        }
+    }
+    if seeds == 0 {
+        eprintln!("--seeds must be at least 1");
+        std::process::exit(2);
+    }
+    if jobs == 0 {
+        eprintln!("--jobs must be at least 1");
+        std::process::exit(2);
+    }
+
     let format = if jsonl {
         ReportFormat::Jsonl
     } else if csv {
@@ -41,90 +74,12 @@ fn main() {
     };
     let mut w = ReportWriter::stdout(format);
 
-    if want("e1") {
-        let rows = exp::e1::run_experiment(&exp::e1::E1Params::full(SEED));
-        emit(&mut w, &exp::e1::table(&rows));
-    }
-    if want("e2") {
-        let out = exp::e2::run_experiment(&exp::e2::E2Params::full(SEED));
-        emit(&mut w, &exp::e2::table(&out));
-    }
-    if want("e3") {
-        let rows = exp::e3::run_experiment(&exp::e3::E3Params::full(SEED));
-        emit(&mut w, &exp::e3::table(&rows));
-    }
-    if want("e4") {
-        let rows = exp::e4::run_experiment(&exp::e4::E4Params::full(SEED));
-        emit(&mut w, &exp::e4::table(&rows));
-    }
-    if want("e5") {
-        let rows = exp::e5::run_experiment(&exp::e5::E5Params::standard());
-        emit(&mut w, &exp::e5::table(&rows));
-    }
-    if want("e6") {
-        let rows = exp::e6::run_experiment(&exp::e6::E6Params::full(SEED));
-        emit(&mut w, &exp::e6::table(&rows));
-    }
-    if want("e7") {
-        let series = exp::e7::run_experiment(&exp::e7::E7Params::full(SEED));
-        emit(&mut w, &exp::e7::table(&series));
-    }
-    if want("e8") {
-        let rows = exp::e8::run_experiment(&exp::e8::E8Params::full(SEED));
-        emit(&mut w, &exp::e8::table(&rows));
-    }
-    if want("e9") {
-        let rows = exp::e9::run_experiment(&exp::e9::E9Params::full(SEED));
-        emit(&mut w, &exp::e9::table(&rows));
-    }
-    if want("e10") {
-        let rows = exp::e10::run_experiment(&exp::e10::E10Params::full(SEED));
-        emit(&mut w, &exp::e10::table(&rows));
-    }
-    if want("e11") {
-        let out = exp::e11::run_experiment(&exp::e11::E11Params::full(SEED));
-        emit(&mut w, &exp::e11::table(&out));
-        emit(
-            &mut w,
-            &exp::e11::weights_table(&exp::e11::E11Params::full(SEED)),
-        );
-    }
-    if want("e12") {
-        let rows = exp::e12::run_experiment(&exp::e12::E12Params::full(SEED));
-        emit(&mut w, &exp::e12::table(&rows));
-    }
-    if want("e13") {
-        let rows = exp::e13::run_experiment(&exp::e13::E13Params::full(SEED));
-        emit(&mut w, &exp::e13::table(&rows));
-    }
-    if want("e14") {
-        let p = if quick {
-            exp::e14::E14Params::quick(SEED)
-        } else {
-            exp::e14::E14Params::full(SEED)
-        };
-        let rows = exp::e14::run_experiment(&p);
-        emit(&mut w, &exp::e14::table(&rows));
-    }
-    if want("a1") || want("a2") || want("a3") {
-        let p = exp::ablations::AblationParams::full(SEED);
-        if want("a1") {
-            emit(
-                &mut w,
-                &exp::ablations::a1_table(&exp::ablations::run_a1(&p)),
-            );
-        }
-        if want("a2") {
-            emit(
-                &mut w,
-                &exp::ablations::a2_table(&exp::ablations::run_a2(&p)),
-            );
-        }
-        if want("a3") {
-            emit(
-                &mut w,
-                &exp::ablations::a3_table(&exp::ablations::run_a3(&p)),
-            );
-        }
+    let out = sweep::run_experiment_sweep(&picks, seed, seeds, jobs, quick);
+    w.emit_all(&out.tables)
+        .expect("write experiment tables to stdout");
+    if !out.failures.is_empty() {
+        w.emit(&sweep::failures_table(&out.failures))
+            .expect("write failures table to stdout");
+        std::process::exit(1);
     }
 }

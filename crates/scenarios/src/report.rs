@@ -40,6 +40,25 @@ impl ActionStats {
     }
 }
 
+/// The compact metric vector a sweep job extracts from one engine run:
+/// the E1 headline metrics, as plain `Send` data that crosses worker
+/// threads and aggregates into mean ±95% CI columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepMetrics {
+    /// Median service window of fixed reactive tickets.
+    pub median_window: SimDuration,
+    /// p95 service window.
+    pub p95_window: SimDuration,
+    /// Link availability.
+    pub availability: f64,
+    /// Tickets closed with a verified fix.
+    pub tickets_fixed: u64,
+    /// Technician hands-on + travel time.
+    pub tech_time: SimDuration,
+    /// Total operating cost (USD).
+    pub cost: f64,
+}
+
 /// Everything measured in one scenario run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -153,6 +172,18 @@ impl RunReport {
     /// p95 service window.
     pub fn p95_service_window(&mut self) -> SimDuration {
         self.service_windows.quantile(0.95)
+    }
+
+    /// Extract the sweep metric vector (see [`SweepMetrics`]).
+    pub fn sweep_metrics(&mut self) -> SweepMetrics {
+        SweepMetrics {
+            median_window: self.median_service_window(),
+            p95_window: self.p95_service_window(),
+            availability: self.availability.availability,
+            tickets_fixed: self.tickets_fixed,
+            tech_time: self.tech_time,
+            cost: self.costs.total(),
+        }
     }
 
     /// Mean repair attempts per fixed ticket ("failures frequently

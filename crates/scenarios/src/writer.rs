@@ -99,6 +99,17 @@ impl<W: Write> ReportWriter<W> {
         );
         Ok(())
     }
+
+    /// Emit a sequence of tables in order (what sweep outputs use).
+    pub fn emit_all<'a, I>(&mut self, tables: I) -> io::Result<()>
+    where
+        I: IntoIterator<Item = &'a Table>,
+    {
+        for t in tables {
+            self.emit(t)?;
+        }
+        Ok(())
+    }
 }
 
 /// One-line JSON encoding of a table (title, columns, rows of strings).

@@ -1,0 +1,91 @@
+//! Canonical-order merge: the sweep determinism contract, isolated.
+//!
+//! Workers finish jobs in whatever order the OS scheduler produces. All
+//! of that nondeterminism is quarantined here: a completion is a
+//! `(plan index, result)` pair, and [`merge_canonical`] restores plan
+//! order before anything downstream (table aggregation, journal
+//! concatenation, stdout) sees the results. The property test in
+//! `tests/` drives this with arbitrary completion schedules and asserts
+//! the merged bytes never change.
+
+use crate::pool::JobResult;
+
+/// One finished job as the pool observed it: plan index + outcome.
+#[derive(Debug, Clone)]
+pub struct Completed<T> {
+    /// Index of the job in the submitted plan.
+    pub index: usize,
+    /// The job's value, or its contained panic.
+    pub result: JobResult<T>,
+}
+
+/// Restore plan order over completions gathered in arbitrary
+/// (scheduler-dependent) order. The output is a dense vector: slot `i`
+/// holds job `i`'s result.
+///
+/// Panics if two completions claim the same index or an index is out of
+/// range — both would mean the pool lost or duplicated a job, which is a
+/// bug, not an input condition.
+pub fn merge_canonical<T>(mut done: Vec<Completed<T>>) -> Vec<JobResult<T>> {
+    done.sort_by_key(|c| c.index);
+    for (slot, c) in done.iter().enumerate() {
+        assert_eq!(
+            slot, c.index,
+            "sweep pool lost or duplicated a job (have completion for #{}, expected #{slot})",
+            c.index
+        );
+    }
+    done.into_iter().map(|c| c.result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::JobError;
+
+    #[test]
+    fn restores_plan_order() {
+        let done = vec![
+            Completed {
+                index: 2,
+                result: Ok("c"),
+            },
+            Completed {
+                index: 0,
+                result: Ok("a"),
+            },
+            Completed {
+                index: 1,
+                result: Err(JobError {
+                    index: 1,
+                    message: "boom".into(),
+                }),
+            },
+        ];
+        let merged = merge_canonical(done);
+        assert_eq!(merged[0], Ok("a"));
+        assert!(merged[1].is_err());
+        assert_eq!(merged[2], Ok("c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lost or duplicated")]
+    fn duplicate_indices_are_a_bug() {
+        let done = vec![
+            Completed {
+                index: 0,
+                result: Ok(1u32),
+            },
+            Completed {
+                index: 0,
+                result: Ok(2u32),
+            },
+        ];
+        merge_canonical(done);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(merge_canonical(Vec::<Completed<u8>>::new()).is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Seed-replicate aggregation of experiment tables.
+//!
+//! A sweep runs the same experiment K times under derived seeds; every
+//! replicate renders the same table shape (same title, columns, row
+//! count — the row set is determined by the experiment's configuration,
+//! not its randomness). [`aggregate_tables`] folds those K tables into
+//! one, cell by cell:
+//!
+//! * cells identical across replicates (labels, config columns) pass
+//!   through untouched;
+//! * numeric cells — plain numbers, percentages (`12.3%`), ratios
+//!   (`2.00x`), and rendered durations (`1.50m`, `12us`) — become
+//!   `mean ±half` with a t-distribution 95% CI over the replicates;
+//! * anything else that varies renders as `(varies)` rather than
+//!   pretending one replicate speaks for all.
+//!
+//! Aggregation happens on the *rendered* cells, so the CI reflects the
+//! table's own precision; that keeps the machinery experiment-agnostic
+//! (no per-experiment numeric adapters) and is documented as such in
+//! EXPERIMENTS.md. The fold is pure and order-preserving: replicates are
+//! always presented in replicate order by the caller, so the output is
+//! byte-stable regardless of which worker finished first.
+
+use dcmaint_des::SimDuration;
+use dcmaint_metrics::{fnum, mean_ci95, Align, Table};
+
+/// What a rendered cell parsed as.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CellValue {
+    /// Plain number, with the decimal places it was rendered at.
+    Plain(f64, usize),
+    /// Percentage (`fpct` output): value *as displayed* (already ×100).
+    Percent(f64, usize),
+    /// Ratio (`fratio` output): `2.00x`.
+    Ratio(f64, usize),
+    /// Duration (`SimDuration` display): seconds.
+    Duration(f64),
+}
+
+fn decimals(s: &str) -> usize {
+    s.split_once('.').map_or(0, |(_, frac)| {
+        frac.chars().take_while(|c| c.is_ascii_digit()).count()
+    })
+}
+
+fn parse_cell(s: &str) -> Option<CellValue> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // Duration units first — longest suffix wins so "ms"/"us" are not
+    // mistaken for a trailing "s".
+    for (suffix, scale) in [
+        ("us", 1e-6),
+        ("ms", 1e-3),
+        ("d", 86_400.0),
+        ("h", 3_600.0),
+        ("m", 60.0),
+        ("s", 1.0),
+    ] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            if let Ok(v) = num.parse::<f64>() {
+                return Some(CellValue::Duration(v * scale));
+            }
+        }
+    }
+    if let Some(num) = s.strip_suffix('%') {
+        if let Ok(v) = num.parse::<f64>() {
+            return Some(CellValue::Percent(v, decimals(num)));
+        }
+    }
+    if let Some(num) = s.strip_suffix('x') {
+        if let Ok(v) = num.parse::<f64>() {
+            return Some(CellValue::Ratio(v, decimals(num)));
+        }
+    }
+    s.parse::<f64>()
+        .ok()
+        .map(|v| CellValue::Plain(v, decimals(s)))
+}
+
+fn fdur_ci(mean_s: f64, half_s: f64) -> String {
+    format!(
+        "{} ±{}",
+        SimDuration::from_secs_f64(mean_s),
+        SimDuration::from_secs_f64(half_s)
+    )
+}
+
+/// Aggregate one cell position across replicates.
+fn aggregate_cell(cells: &[&str]) -> String {
+    debug_assert!(!cells.is_empty());
+    if cells.iter().all(|c| *c == cells[0]) {
+        return cells[0].to_string();
+    }
+    let parsed: Option<Vec<CellValue>> = cells.iter().map(|c| parse_cell(c)).collect();
+    let Some(parsed) = parsed else {
+        return "(varies)".into();
+    };
+    // All replicates must agree on the cell's kind; a column that
+    // renders seconds in one replicate and minutes in another is still
+    // one Duration kind, but a mix of, say, Percent and Plain is not a
+    // column — refuse to average it.
+    let same_kind = |a: &CellValue, b: &CellValue| {
+        matches!(
+            (a, b),
+            (CellValue::Plain(..), CellValue::Plain(..))
+                | (CellValue::Percent(..), CellValue::Percent(..))
+                | (CellValue::Ratio(..), CellValue::Ratio(..))
+                | (CellValue::Duration(..), CellValue::Duration(..))
+        )
+    };
+    if !parsed.iter().all(|v| same_kind(v, &parsed[0])) {
+        return "(varies)".into();
+    }
+    let values: Vec<f64> = parsed
+        .iter()
+        .map(|v| match v {
+            CellValue::Plain(x, _)
+            | CellValue::Percent(x, _)
+            | CellValue::Ratio(x, _)
+            | CellValue::Duration(x) => *x,
+        })
+        .collect();
+    let ci = mean_ci95(&values);
+    let digits = parsed
+        .iter()
+        .map(|v| match v {
+            CellValue::Plain(_, d) | CellValue::Percent(_, d) | CellValue::Ratio(_, d) => *d,
+            CellValue::Duration(_) => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    match parsed[0] {
+        CellValue::Duration(_) => fdur_ci(ci.mean, ci.half),
+        CellValue::Percent(..) => {
+            format!("{}% ±{}%", fnum(ci.mean, digits), fnum(ci.half, digits))
+        }
+        CellValue::Ratio(..) => {
+            format!("{}x ±{}x", fnum(ci.mean, digits), fnum(ci.half, digits))
+        }
+        CellValue::Plain(..) => ci.cell(digits),
+    }
+}
+
+/// Fold K same-shaped replicate tables into one mean ± 95% CI table.
+///
+/// Errors (rather than panicking) on shape mismatches — a replicate that
+/// produced a different title, column set, or row count indicates the
+/// sweep plan was built wrong, and the caller surfaces that as a failed
+/// experiment, not a crash.
+pub fn aggregate_tables(replicates: &[Table]) -> Result<Table, String> {
+    let Some(first) = replicates.first() else {
+        return Err("no replicates to aggregate".into());
+    };
+    if replicates.len() == 1 {
+        return Ok(first.clone());
+    }
+    for (k, t) in replicates.iter().enumerate() {
+        if t.title() != first.title() {
+            return Err(format!(
+                "replicate {k} title {:?} != {:?}",
+                t.title(),
+                first.title()
+            ));
+        }
+        if t.headers() != first.headers() {
+            return Err(format!("replicate {k} columns differ"));
+        }
+        if t.len() != first.len() {
+            return Err(format!(
+                "replicate {k} has {} rows, expected {}",
+                t.len(),
+                first.len()
+            ));
+        }
+    }
+    let headers = first.headers();
+    let columns: Vec<(&str, Align)> = headers
+        .iter()
+        .enumerate()
+        // Alignment isn't exposed by Table; numbers are right-aligned by
+        // convention and labels sit in column 0 in every experiment
+        // table, which is exactly the convention the originals follow.
+        .map(|(i, h)| (*h, if i == 0 { Align::Left } else { Align::Right }))
+        .collect();
+    let mut out = Table::new(
+        &format!(
+            "{} — {} seeds, mean ±95% CI",
+            first.title(),
+            replicates.len()
+        ),
+        &columns,
+    );
+    for r in 0..first.len() {
+        let mut row: Vec<String> = Vec::with_capacity(headers.len());
+        for c in 0..headers.len() {
+            let cells: Vec<&str> = replicates.iter().map(|t| t.rows()[r][c].as_str()).collect();
+            row.push(aggregate_cell(&cells));
+        }
+        out.row(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(title: &str, rows: &[[&str; 3]]) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                ("level", Align::Left),
+                ("value", Align::Right),
+                ("window", Align::Right),
+            ],
+        );
+        for r in rows {
+            t.row(r.to_vec());
+        }
+        t
+    }
+
+    #[test]
+    fn identical_cells_pass_through() {
+        let a = table("t", &[["L0", "3.00", "1.50m"]]);
+        let b = table("t", &[["L0", "3.00", "1.50m"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        assert_eq!(agg.rows()[0], vec!["L0", "3.00", "1.50m"]);
+        assert_eq!(agg.title(), "t — 2 seeds, mean ±95% CI");
+    }
+
+    #[test]
+    fn numeric_cells_become_mean_ci() {
+        let a = table("t", &[["L0", "1.00", "60.00s"]]);
+        let b = table("t", &[["L0", "3.00", "3.00m"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        // {1,3}: mean 2, half 12.706 (df=1 t-interval, se exactly 1).
+        assert_eq!(agg.rows()[0][1], "2.00 ±12.71");
+        // {60 s, 180 s}: mean 120 s → 2.00m.
+        assert!(
+            agg.rows()[0][2].starts_with("2.00m ±"),
+            "{}",
+            agg.rows()[0][2]
+        );
+    }
+
+    #[test]
+    fn mixed_unit_durations_aggregate_in_seconds() {
+        let a = table("t", &[["L0", "1", "30.00s"]]);
+        let b = table("t", &[["L0", "1", "1.50m"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        // {30 s, 90 s}: mean 60 s renders as 1.00m.
+        assert!(agg.rows()[0][2].starts_with("1.00m ±"));
+    }
+
+    #[test]
+    fn percent_and_ratio_cells_keep_their_suffix() {
+        let a = table("t", &[["L0", "12.0%", "2.00x"]]);
+        let b = table("t", &[["L0", "14.0%", "4.00x"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        assert!(
+            agg.rows()[0][1].starts_with("13.0% ±"),
+            "{}",
+            agg.rows()[0][1]
+        );
+        assert!(
+            agg.rows()[0][2].starts_with("3.00x ±"),
+            "{}",
+            agg.rows()[0][2]
+        );
+    }
+
+    #[test]
+    fn unparseable_variation_is_flagged_not_averaged() {
+        let a = table("t", &[["L0", "reseat", "1"]]);
+        let b = table("t", &[["L0", "clean", "1"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        assert_eq!(agg.rows()[0][1], "(varies)");
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged() {
+        let a = table("t", &[["L0", "12.0%", "1"]]);
+        let b = table("t", &[["L0", "12.5", "1"]]);
+        let agg = aggregate_tables(&[a, b]).unwrap();
+        assert_eq!(agg.rows()[0][1], "(varies)");
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        let a = table("t", &[["L0", "1", "1"]]);
+        let b = table("u", &[["L0", "1", "1"]]);
+        assert!(aggregate_tables(&[a.clone(), b]).is_err());
+        let short = table("t", &[]);
+        assert!(aggregate_tables(&[a.clone(), short]).is_err());
+        assert!(aggregate_tables(&[]).is_err());
+        // A single replicate passes through unchanged.
+        let solo = aggregate_tables(std::slice::from_ref(&a)).unwrap();
+        assert_eq!(solo.title(), "t");
+    }
+
+    #[test]
+    fn aggregation_is_replicate_order_sensitive_only_in_name() {
+        // Mean/CI are symmetric; swapping replicate order must not
+        // change a single byte of the rendered table.
+        let a = table("t", &[["L0", "1.00", "30.00s"]]);
+        let b = table("t", &[["L0", "5.00", "2.50m"]]);
+        let ab = aggregate_tables(&[a.clone(), b.clone()]).unwrap().render();
+        let ba = aggregate_tables(&[b, a]).unwrap().render();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn duration_parser_disambiguates_suffixes() {
+        let secs = |s: &str| match parse_cell(s) {
+            Some(CellValue::Duration(v)) => v,
+            other => panic!("{s:?} parsed as {other:?}, expected a duration"),
+        };
+        assert!((secs("12us") - 12e-6).abs() < 1e-12);
+        assert!((secs("1.50ms") - 0.0015).abs() < 1e-12);
+        assert!((secs("1.50s") - 1.5).abs() < 1e-12);
+        assert!((secs("1.50m") - 90.0).abs() < 1e-9);
+        assert!((secs("2.00h") - 7200.0).abs() < 1e-9);
+        assert!((secs("2.00d") - 172_800.0).abs() < 1e-9);
+        assert_eq!(parse_cell("0.99987"), Some(CellValue::Plain(0.99987, 5)));
+        assert_eq!(parse_cell("42"), Some(CellValue::Plain(42.0, 0)));
+        assert_eq!(parse_cell("12.3%"), Some(CellValue::Percent(12.3, 1)));
+        assert_eq!(parse_cell("2.00x"), Some(CellValue::Ratio(2.0, 2)));
+        assert_eq!(parse_cell("reseat"), None);
+        assert_eq!(parse_cell(""), None);
+    }
+}

@@ -14,14 +14,27 @@
 //!                  # and wall-clock profiling to BENCH_obs.json
 //!                  # (--bench-obs; kept off stdout so the deterministic
 //!                  # output stays byte-reproducible)
+//! selfmaint sweep  [--seeds 8] [--jobs 1] [--days 14] [--seed 42]
+//!                  [--level L3|all] [--quick] [--csv] [--obs]
+//!                  [--journal PATH] [--bench-sweep] [--inject-panic I]
+//!                  # seed-replicated level sweep on the work-stealing
+//!                  # pool: mean ±95% CI columns, merged observability,
+//!                  # byte-identical stdout for any --jobs value; wall
+//!                  # scaling to BENCH_sweep.json (--bench-sweep, off
+//!                  # stdout like --bench-obs)
 //! ```
 //!
 //! Arguments are parsed by hand — the CLI surface is small and the
-//! project adds no dependency for it.
+//! project adds no dependency for it. The helpers live in
+//! `selfmaint::scenarios::cli` (shared with the `experiments` binary)
+//! and treat an unparseable flag value as a usage error, never a silent
+//! fall-back to the default.
 
 use selfmaint::control::{advise, ControllerConfig};
 use selfmaint::metrics::{fnum, nines, Align, Table};
 use selfmaint::prelude::*;
+use selfmaint::scenarios::cli::{flag, opt, parse_opt_maybe_or_exit, parse_opt_or_exit};
+use selfmaint::scenarios::sweep::{failures_table, run_engine_sweep, EngineSweepParams};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,26 +44,17 @@ fn main() {
         Some("topo") => cmd_topo(&args[1..]),
         Some("levels") => cmd_levels(),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         _ => {
             eprintln!(
-                "usage: selfmaint <run|advise|topo|levels|trace> [options]\n\
+                "usage: selfmaint <run|advise|topo|levels|trace|sweep> [options]\n\
                  try: selfmaint run --level L3 --days 30\n\
-                 or:  selfmaint trace --days 14 --incident 0"
+                 or:  selfmaint trace --days 14 --incident 0\n\
+                 or:  selfmaint sweep --seeds 8 --jobs 4"
             );
             std::process::exit(2);
         }
     }
-}
-
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
 }
 
 fn parse_level(s: &str) -> AutomationLevel {
@@ -69,8 +73,8 @@ fn parse_level(s: &str) -> AutomationLevel {
 
 fn cmd_run(args: &[String]) {
     let level = parse_level(opt(args, "--level").unwrap_or("L3"));
-    let days: u64 = opt(args, "--days").unwrap_or("30").parse().unwrap_or(30);
-    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let days: u64 = parse_opt_or_exit(args, "--days", 30);
+    let seed: u64 = parse_opt_or_exit(args, "--seed", 42);
     let mut cfg = ScenarioConfig::at_level(seed, level);
     cfg.duration = SimDuration::from_days(days);
     if let Some(t) = opt(args, "--topology") {
@@ -97,13 +101,9 @@ fn cmd_run(args: &[String]) {
             }
         };
     }
-    if let Some(n) = opt(args, "--robots-per-row") {
-        cfg.robots_per_row = n.parse().unwrap_or(cfg.robots_per_row);
-    }
-    if let Some(v) = opt(args, "--vendors") {
-        cfg.diversity = DiversityProfile {
-            vendor_count: v.parse().unwrap_or(12),
-        };
+    cfg.robots_per_row = parse_opt_or_exit(args, "--robots-per-row", cfg.robots_per_row);
+    if let Some(v) = parse_opt_maybe_or_exit::<u8>(args, "--vendors") {
+        cfg.diversity = DiversityProfile { vendor_count: v };
     }
     if flag(args, "--no-proactive") || flag(args, "--no-predictive") {
         let mut ctl = ControllerConfig::at_level(level);
@@ -182,19 +182,10 @@ fn cmd_run(args: &[String]) {
 }
 
 fn cmd_advise(args: &[String]) {
-    let mtbf_days: u64 = opt(args, "--mtbf-days")
-        .unwrap_or("60")
-        .parse()
-        .unwrap_or(60);
-    let mttr_mins: u64 = opt(args, "--mttr-mins")
-        .unwrap_or("10")
-        .parse()
-        .unwrap_or(10);
-    let need: usize = opt(args, "--need").unwrap_or("8").parse().unwrap_or(8);
-    let target: f64 = opt(args, "--target")
-        .unwrap_or("0.9999")
-        .parse()
-        .unwrap_or(0.9999);
+    let mtbf_days: u64 = parse_opt_or_exit(args, "--mtbf-days", 60);
+    let mttr_mins: u64 = parse_opt_or_exit(args, "--mttr-mins", 10);
+    let need: usize = parse_opt_or_exit(args, "--need", 8);
+    let target: f64 = parse_opt_or_exit(args, "--target", 0.9999);
     let adv = advise(
         SimDuration::from_days(mtbf_days),
         SimDuration::from_mins(mttr_mins),
@@ -210,7 +201,7 @@ fn cmd_advise(args: &[String]) {
 }
 
 fn cmd_topo(args: &[String]) {
-    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+    let seed: u64 = parse_opt_or_exit(args, "--seed", 42);
     let rng = SimRng::root(seed);
     let mut t = Table::new(
         "self-maintainability",
@@ -246,9 +237,9 @@ fn cmd_topo(args: &[String]) {
 
 fn cmd_trace(args: &[String]) {
     let level = parse_level(opt(args, "--level").unwrap_or("L3"));
-    let days: u64 = opt(args, "--days").unwrap_or("14").parse().unwrap_or(14);
-    let seed: u64 = opt(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
-    let incident: Option<usize> = opt(args, "--incident").and_then(|s| s.parse().ok());
+    let days: u64 = parse_opt_or_exit(args, "--days", 14);
+    let seed: u64 = parse_opt_or_exit(args, "--seed", 42);
+    let incident: Option<usize> = parse_opt_maybe_or_exit(args, "--incident");
     let bench = flag(args, "--bench-obs");
 
     let mut cfg = ScenarioConfig::at_level(seed, level);
@@ -334,6 +325,133 @@ fn cmd_trace(args: &[String]) {
         // numbers vary run to run and must never contaminate the
         // deterministic stdout.
         eprintln!("wall-clock profile written to BENCH_obs.json");
+    }
+}
+
+fn cmd_sweep(args: &[String]) {
+    let seeds: u64 = parse_opt_or_exit(args, "--seeds", 8);
+    let jobs: usize = parse_opt_or_exit(args, "--jobs", 1);
+    let days: u64 = parse_opt_or_exit(args, "--days", 14);
+    let seed: u64 = parse_opt_or_exit(args, "--seed", 42);
+    let quick = flag(args, "--quick");
+    let journal_path = opt(args, "--journal").map(str::to_string);
+    let obs = flag(args, "--obs") || journal_path.is_some();
+    let inject_panic: Option<usize> = parse_opt_maybe_or_exit(args, "--inject-panic");
+    let levels = match opt(args, "--level") {
+        None | Some("all") => AutomationLevel::ALL.to_vec(),
+        Some(s) => vec![parse_level(s)],
+    };
+    if seeds == 0 {
+        eprintln!("--seeds must be at least 1");
+        std::process::exit(2);
+    }
+
+    let p = EngineSweepParams {
+        base_seed: seed,
+        seeds,
+        jobs,
+        days,
+        levels,
+        small_fabric: quick,
+        obs,
+        inject_panic,
+    };
+    eprintln!(
+        "sweeping {} level(s) × {} seed(s) on {} worker(s), {} simulated days each…",
+        p.levels.len(),
+        seeds,
+        jobs.max(1),
+        days
+    );
+    let out = run_engine_sweep(&p);
+
+    if flag(args, "--csv") {
+        print!("{}", out.table.to_csv());
+    } else {
+        print!("{}", out.table.render());
+    }
+    if !out.failures.is_empty() {
+        println!();
+        print!("{}", failures_table(&out.failures).render());
+    }
+    if let Some(reg) = &out.registry {
+        let mut t = Table::new(
+            "merged obs counters (all replicates)",
+            &[("counter", Align::Left), ("value", Align::Right)],
+        );
+        for (name, v) in reg.counters_sorted() {
+            t.row(vec![name.to_string(), v.to_string()]);
+        }
+        println!();
+        print!("{}", t.render());
+    }
+    if let Some(path) = &journal_path {
+        let mut body = out.journal.join("\n");
+        body.push('\n');
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write journal to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("journal: {} lines written to {path}", out.journal.len());
+    }
+
+    if flag(args, "--bench-sweep") {
+        bench_sweep(&p);
+    }
+    if !out.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Measure sweep wall-clock scaling at 1/2/4/8 workers and write
+/// `BENCH_sweep.json`. Like `--bench-obs`, the numbers are inherently
+/// nondeterministic, so they go to a side file and stderr only — the
+/// deterministic stdout is produced before this runs. The stdout bytes
+/// of every worker count are also compared here, turning the bench into
+/// a determinism check as a side effect.
+fn bench_sweep(p: &EngineSweepParams) {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut runs = Vec::new();
+    let mut base_wall = 0.0_f64;
+    let mut base_bytes: Option<String> = None;
+    let mut identical = true;
+    for workers in [1usize, 2, 4, 8] {
+        let mut pw = p.clone();
+        pw.jobs = workers;
+        let t0 = std::time::Instant::now();
+        let out = run_engine_sweep(&pw);
+        let wall = t0.elapsed().as_secs_f64();
+        let bytes = out.table.render();
+        match &base_bytes {
+            None => {
+                base_wall = wall;
+                base_bytes = Some(bytes);
+            }
+            Some(b) => identical &= *b == bytes,
+        }
+        let speedup = if wall > 0.0 { base_wall / wall } else { 0.0 };
+        eprintln!("  {workers} worker(s): {wall:.3}s wall ({speedup:.2}x vs 1)");
+        runs.push(format!(
+            "{{\"workers\":{workers},\"wall_s\":{wall:.6},\"speedup\":{speedup:.4}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"sweep\",\"host_cores\":{host_cores},\"days\":{},\
+         \"seeds\":{},\"levels\":{},\"jobs_identical_stdout\":{identical},\
+         \"runs\":[{}]}}\n",
+        p.days,
+        p.seeds,
+        p.levels.len(),
+        runs.join(",")
+    );
+    std::fs::write("BENCH_sweep.json", json).unwrap_or_else(|e| {
+        eprintln!("cannot write BENCH_sweep.json: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wall-clock scaling written to BENCH_sweep.json");
+    if !identical {
+        eprintln!("DETERMINISM VIOLATION: stdout bytes differ across worker counts");
+        std::process::exit(1);
     }
 }
 

@@ -39,7 +39,8 @@
 //! | [`obs`] | `dcmaint-obs` | incident span traces, event journal, counters/histograms |
 //! | [`topomaint`] | `dcmaint-topomaint` | self-maintainability metric |
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
-//! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11 |
+//! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
+//! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11, sweep orchestration |
 //!
 //! ## Examples (`cargo run --example …`)
 //!
@@ -62,6 +63,7 @@ pub use dcmaint_metrics as metrics;
 pub use dcmaint_obs as obs;
 pub use dcmaint_robotics as robotics;
 pub use dcmaint_scenarios as scenarios;
+pub use dcmaint_sweep as sweep;
 pub use dcmaint_telemetry as telemetry;
 pub use dcmaint_tickets as tickets;
 pub use dcmaint_topomaint as topomaint;

@@ -12,7 +12,7 @@
 //! every cabled port on that switch. A cooldown prevents re-campaigning
 //! the same switch immediately.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcmaint_dcnet::{LinkId, NodeId, Topology};
 use dcmaint_des::{SimDuration, SimTime};
@@ -60,9 +60,9 @@ pub struct Campaign {
 pub struct ProactivePlanner {
     cfg: ProactiveConfig,
     /// (switch → reseat-fix timestamps within window).
-    fixes: HashMap<NodeId, Vec<SimTime>>,
+    fixes: BTreeMap<NodeId, Vec<SimTime>>,
     /// (switch → last campaign time).
-    last_campaign: HashMap<NodeId, SimTime>,
+    last_campaign: BTreeMap<NodeId, SimTime>,
 }
 
 impl ProactivePlanner {
@@ -70,8 +70,8 @@ impl ProactivePlanner {
     pub fn new(cfg: ProactiveConfig) -> Self {
         ProactivePlanner {
             cfg,
-            fixes: HashMap::new(),
-            last_campaign: HashMap::new(),
+            fixes: BTreeMap::new(),
+            last_campaign: BTreeMap::new(),
         }
     }
 

@@ -26,7 +26,7 @@ pub enum ZoneActor {
 
 /// Opaque handle to a recorded claim, for early release when the work
 /// holding the zone aborts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClaimId(u64);
 
 /// One active exclusion claim.

@@ -265,7 +265,7 @@ fn random_regular_graph(n: usize, r: usize, rng: &SimRng) -> Vec<(usize, usize)>
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, r)).collect();
         stream.shuffle(&mut stubs);
         let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * r / 2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for pair in stubs.chunks_exact(2) {
             let (u, v) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
             if u == v || !seen.insert((u, v)) {

@@ -450,8 +450,8 @@ impl TopologyBuilder {
         }
         // Panel adjacency: group cabled ports by (rack, u, face); slots
         // within +/-2 are neighbors.
-        use std::collections::HashMap;
-        let mut panels: HashMap<(RackId, u8, u8), Vec<(u16, LinkId)>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut panels: BTreeMap<(RackId, u8, u8), Vec<(u16, LinkId)>> = BTreeMap::new();
         for (pi, port) in self.ports.iter().enumerate() {
             if let Some(l) = self.port_link[pi] {
                 let face = match port.loc.face {

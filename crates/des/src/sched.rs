@@ -36,7 +36,7 @@
 //! key is skipped at pop time (lazy deletion), which keeps cancel O(1).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -103,7 +103,7 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     seq: u64,
-    canceled: HashSet<u64>,
+    canceled: BTreeSet<u64>,
     delivered: u64,
     horizon: SimTime,
 }
@@ -121,7 +121,7 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
-            canceled: HashSet::new(),
+            canceled: BTreeSet::new(),
             delivered: 0,
             horizon: SimTime::MAX,
         }

@@ -1,0 +1,138 @@
+//! The checked-in baseline: grandfathered findings.
+//!
+//! Format — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <path> <rule> <count>
+//! ```
+//!
+//! An entry absorbs up to `count` findings of `rule` in `path`
+//! (lowest lines first, so the report stays stable). The lifecycle is
+//! one-way: if the tree now produces *fewer* findings than an entry
+//! allows, the entry is stale and is itself reported as an error
+//! ([`crate::rules::STALE_BASELINE`]) — the baseline can only ever
+//! shrink, never silently rot into dead weight.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{BASELINE_RULES, STALE_BASELINE};
+use crate::Finding;
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// 1-based line in the baseline file (for stale reporting).
+    pub line: u32,
+    pub path: String,
+    pub rule: String,
+    pub count: usize,
+}
+
+/// Parse baseline text. Errors on malformed lines or non-baselineable
+/// rules rather than skipping them — a typo'd entry silently absorbing
+/// nothing would defeat the gate.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = l.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "baseline line {line}: expected `<path> <rule> <count>`, got {l:?}"
+            ));
+        }
+        if !BASELINE_RULES.contains(&parts[1]) {
+            return Err(format!(
+                "baseline line {line}: `{}` is not a baselineable rule",
+                parts[1]
+            ));
+        }
+        let count: usize = parts[2]
+            .parse()
+            .map_err(|_| format!("baseline line {line}: bad count {:?}", parts[2]))?;
+        if count == 0 {
+            return Err(format!(
+                "baseline line {line}: a zero-count entry is dead weight — delete it"
+            ));
+        }
+        out.push(Entry {
+            line,
+            path: parts[0].to_string(),
+            rule: parts[1].to_string(),
+            count,
+        });
+    }
+    Ok(out)
+}
+
+/// Apply the baseline: absorb grandfathered findings, flag stale
+/// entries. `baseline_path` labels stale findings.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[Entry],
+    baseline_path: &str,
+) -> (Vec<Finding>, usize) {
+    // Budget per (path, rule). Duplicate entries sum.
+    let mut budget: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for e in entries {
+        *budget.entry((e.path.clone(), e.rule.clone())).or_insert(0) += e.count;
+    }
+    let mut absorbed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut kept = Vec::new();
+    let mut baselined = 0;
+    // Findings arrive sorted by (path, line); absorb lowest lines first.
+    for f in findings {
+        let key = (f.path.clone(), f.rule.to_string());
+        let b = budget.get(&key).copied().unwrap_or(0);
+        let a = absorbed.entry(key).or_insert(0);
+        if *a < b {
+            *a += 1;
+            baselined += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    // Report each deficient (path, rule) once, even if split across
+    // duplicate entries.
+    let mut reported: std::collections::BTreeSet<(String, String)> = Default::default();
+    for e in entries {
+        let key = (e.path.clone(), e.rule.clone());
+        let used = absorbed.get(&key).copied().unwrap_or(0);
+        let b = budget[&key];
+        if used < b && reported.insert(key) {
+            kept.push(Finding::new(
+                baseline_path,
+                e.line,
+                STALE_BASELINE,
+                format!(
+                    "stale baseline: allows {} `{}` finding(s) in {}, the tree has {} — shrink the entry",
+                    b, e.rule, e.path, used
+                ),
+            ));
+        }
+    }
+    (kept, baselined)
+}
+
+/// Render current findings as baseline text (for `--write-baseline`).
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, &str), usize> = BTreeMap::new();
+    for f in findings {
+        if BASELINE_RULES.contains(&f.rule) {
+            *counts.entry((f.path.clone(), f.rule)).or_insert(0) += 1;
+        }
+    }
+    let mut out = String::from(
+        "# dcmaint-lint baseline — grandfathered findings.\n\
+         # format: <path> <rule> <count>\n\
+         # The baseline may only shrink: entries exceeding the tree's\n\
+         # actual findings are reported as stale-baseline errors.\n",
+    );
+    for ((path, rule), n) in &counts {
+        out.push_str(&format!("{path} {rule} {n}\n"));
+    }
+    out
+}

@@ -1,0 +1,245 @@
+//! `dcmaint-lint` — determinism & hygiene static analysis for this
+//! workspace, with a CI gate.
+//!
+//! The whole reproduction stands on byte-identical seeded runs: the
+//! event journal diffs clean across runs, and the sweep output diffs
+//! clean across `--jobs` values. Those are *dynamic* checks — they
+//! prove the tree as-is, not the next PR. This crate is the static
+//! half: a dependency-free, hand-rolled pass (in the same spirit as
+//! the sweep crate's hand-rolled work-stealing pool) that walks every
+//! workspace `.rs` file with a comment/string-aware scanner
+//! ([`lexer`]) and runs a registry of repo-specific rules ([`rules`]):
+//!
+//! * `wall-clock` — `Instant::now`/`SystemTime` outside `obs::wall`;
+//! * `unseeded-rng` — `thread_rng` & friends (all randomness must
+//!   derive from the run seed);
+//! * `hash-iteration` — `HashMap`/`HashSet`, whose iteration order
+//!   varies per process;
+//! * `float-fold` — float reductions over map `values()`/`keys()`;
+//! * `print-in-lib` — `println!`-family output from library code;
+//! * `forbid-unsafe` — crate roots missing `#![forbid(unsafe_code)]`.
+//!
+//! Justified exceptions carry `// lint:allow(rule): reason`
+//! ([`suppress`]; the reason is mandatory), legacy debt lives in a
+//! checked-in baseline that can only shrink ([`baseline`]), and both
+//! reporters emit stable `(path, line, rule)` order ([`report`]), so
+//! the linter's own output is byte-deterministic too. The pass runs as
+//! `cargo run -p dcmaint-lint`, as `selfmaint lint`, and as a hard CI
+//! gate that exits nonzero on any non-baseline finding.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::Outcome;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// `/`-separated path relative to the workspace root.
+    pub path: String,
+    /// 1-based line (1 for whole-file findings).
+    pub line: u32,
+    /// Rule name (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(path: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+/// What a file is, inferred from its workspace path. Determines which
+/// rules apply (library hygiene rules don't bind tests or benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/lib.rs` of some crate.
+    LibRoot,
+    /// Any other module of a library target.
+    Lib,
+    /// A binary crate root (`src/main.rs`, `src/bin/*.rs`).
+    BinRoot,
+    /// An example (its own crate root).
+    Example,
+    /// Integration tests (`tests/`).
+    Test,
+    /// Benches.
+    Bench,
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    let p = rel;
+    if p.starts_with("tests/") || p.contains("/tests/") {
+        FileKind::Test
+    } else if p.starts_with("benches/") || p.contains("/benches/") {
+        FileKind::Bench
+    } else if p.starts_with("examples/") || p.contains("/examples/") {
+        FileKind::Example
+    } else if p.contains("src/bin/") || p.ends_with("src/main.rs") {
+        FileKind::BinRoot
+    } else if p.ends_with("src/lib.rs") {
+        FileKind::LibRoot
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Lint in-memory sources. `files` is `(rel_path, contents)` in *any*
+/// order — findings come out in canonical order regardless. The
+/// optional baseline is `(label, text)`.
+pub fn lint_sources(
+    files: &[(String, String)],
+    baseline: Option<(&str, &str)>,
+) -> Result<Outcome, String> {
+    let mut findings = Vec::new();
+    let mut suppressed = 0;
+    for (rel, src) in files {
+        let scan = lexer::scan(src);
+        let raw = rules::check(rel, classify(rel), &scan);
+        let (kept, n) = suppress::apply(rel, &scan, raw);
+        suppressed += n;
+        findings.extend(kept);
+    }
+    report::sort(&mut findings);
+    let mut baselined = 0;
+    if let Some((label, text)) = baseline {
+        let entries = baseline::parse(text)?;
+        let (kept, n) = baseline::apply(findings, &entries, label);
+        findings = kept;
+        baselined = n;
+        report::sort(&mut findings);
+    }
+    Ok(Outcome {
+        findings,
+        files: files.len(),
+        suppressed,
+        baselined,
+    })
+}
+
+/// Lint a single source file (test/fixture convenience).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    lint_sources(&[(rel_path.to_string(), src.to_string())], None)
+        .expect("no baseline, cannot fail")
+        .findings
+}
+
+/// Lint the workspace tree at `root`. Reads the baseline at
+/// `baseline_path` when it exists.
+pub fn lint_tree(root: &Path, baseline_path: &Path) -> Result<Outcome, String> {
+    let rels = walk::workspace_files(root).map_err(|e| format!("walk {root:?}: {e}"))?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let src =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        files.push((rel, src));
+    }
+    let text;
+    let baseline = if baseline_path.exists() {
+        text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("read {baseline_path:?}: {e}"))?;
+        let label = baseline_path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| baseline_path.display().to_string());
+        Some((label, text))
+    } else {
+        None
+    };
+    lint_sources(
+        &files,
+        baseline.as_ref().map(|(l, t)| (l.as_str(), t.as_str())),
+    )
+}
+
+/// Shared CLI entry for the `dcmaint-lint` binary and the
+/// `selfmaint lint` subcommand. Returns the process exit code:
+/// 0 clean, 1 findings, 2 usage/IO error.
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut root = String::from(".");
+    let mut baseline: Option<String> = None;
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                let mut out = String::new();
+                for r in rules::ALL_RULES {
+                    out.push_str(&format!("{r:15} {}\n", rules::describe(r)));
+                }
+                // lint:allow(print-in-lib): this is the CLI entry point shared by both binaries; stdout is its output contract
+                print!("{out}");
+                return 0;
+            }
+            "--root" | "--baseline" if i + 1 >= args.len() => {
+                return usage(&format!("{} needs a value", args[i]));
+            }
+            "--root" => {
+                i += 1;
+                root = args[i].clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(args[i].clone());
+            }
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let root = Path::new(&root);
+    let baseline_path = baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+    match lint_tree(root, &baseline_path) {
+        Ok(outcome) => {
+            if write_baseline {
+                let text = baseline::render(&outcome.findings);
+                if let Err(e) = std::fs::write(&baseline_path, text) {
+                    // lint:allow(print-in-lib): CLI error path; stderr before nonzero exit
+                    eprintln!("dcmaint-lint: write {baseline_path:?}: {e}");
+                    return 2;
+                }
+            }
+            let rendered = if json {
+                report::render_json(&outcome)
+            } else {
+                report::render_text(&outcome)
+            };
+            // lint:allow(print-in-lib): this is the CLI entry point shared by both binaries; stdout is its output contract
+            print!("{rendered}");
+            i32::from(!outcome.clean())
+        }
+        Err(e) => {
+            // lint:allow(print-in-lib): CLI error path; stderr before nonzero exit
+            eprintln!("dcmaint-lint: {e}");
+            2
+        }
+    }
+}
+
+fn usage(err: &str) -> i32 {
+    // lint:allow(print-in-lib): CLI error path; stderr before nonzero exit
+    eprintln!(
+        "dcmaint-lint: {err}\n\
+         usage: dcmaint-lint [--root DIR] [--baseline PATH] [--json] [--write-baseline] [--list-rules]"
+    );
+    2
+}

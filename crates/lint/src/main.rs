@@ -1,0 +1,9 @@
+//! `dcmaint-lint` — standalone binary. Exits nonzero on any
+//! non-baseline finding; see the library crate for the rule catalog.
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dcmaint_lint::run_cli(&args));
+}

@@ -1,0 +1,41 @@
+//! Deterministic workspace file discovery.
+//!
+//! A plain recursive walk (no deps), skipping build output, vendored
+//! stubs, and VCS metadata. The result is sorted — and the engine
+//! re-sorts findings anyway, so lint output is provably independent of
+//! directory-entry order (there's a proptest for exactly that).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Every workspace `.rs` file under `root`, as sorted `/`-separated
+/// paths relative to `root`.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, Path::new(""), &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, rel: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(root.join(rel))? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &rel.join(name.as_ref()), out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let p = rel.join(name.as_ref());
+            out.push(p.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}

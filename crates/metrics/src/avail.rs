@@ -10,7 +10,7 @@
 //!   a fleet view;
 //! * "nines" conversion helpers ([`nines`], [`availability_from_nines`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcmaint_des::{SimDuration, SimTime};
 
@@ -135,7 +135,7 @@ pub struct AvailabilitySummary {
 /// Availability aggregated across a keyed fleet of entities.
 #[derive(Debug, Clone, Default)]
 pub struct FleetAvailability {
-    trackers: HashMap<u64, AvailabilityTracker>,
+    trackers: BTreeMap<u64, AvailabilityTracker>,
     start: SimTime,
 }
 
@@ -144,7 +144,7 @@ impl FleetAvailability {
     /// `start` on first touch.
     pub fn new(start: SimTime) -> Self {
         FleetAvailability {
-            trackers: HashMap::new(),
+            trackers: BTreeMap::new(),
             start,
         }
     }

@@ -23,7 +23,7 @@
 //! *before* the service window starts, so it is carried as a separate
 //! pre-window attribute rather than a window span.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcmaint_des::{SimDuration, SimTime};
 
@@ -243,7 +243,7 @@ impl IncidentTrace {
 pub struct TraceStore {
     enabled: bool,
     traces: Vec<IncidentTrace>,
-    by_ticket: HashMap<u64, usize>,
+    by_ticket: BTreeMap<u64, usize>,
 }
 
 impl TraceStore {

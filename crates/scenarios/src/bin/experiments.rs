@@ -16,6 +16,8 @@
 //! merges results in canonical order, so `--jobs 1` and `--jobs N`
 //! print identical bytes.
 
+#![forbid(unsafe_code)]
+
 use dcmaint_scenarios::cli::{flag, parse_opt_or_exit};
 use dcmaint_scenarios::sweep;
 use dcmaint_scenarios::{ReportFormat, ReportWriter};

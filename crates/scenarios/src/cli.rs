@@ -65,6 +65,7 @@ where
     T::Err: Display,
 {
     parse_opt(args, name, default).unwrap_or_else(|e| {
+        // lint:allow(print-in-lib): usage errors must reach stderr before the exit below; only binaries call the *_or_exit helpers
         eprintln!("{e}");
         std::process::exit(2);
     })
@@ -77,6 +78,7 @@ where
     T::Err: Display,
 {
     parse_opt_maybe(args, name).unwrap_or_else(|e| {
+        // lint:allow(print-in-lib): usage errors must reach stderr before the exit below; only binaries call the *_or_exit helpers
         eprintln!("{e}");
         std::process::exit(2);
     })

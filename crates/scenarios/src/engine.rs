@@ -30,7 +30,7 @@
 //!   and burst-ends carry the link epoch at scheduling time and are
 //!   ignored if the link has since changed state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcmaint_dcnet::routing::pair_connectivity;
 use dcmaint_dcnet::{AdminState, LinkHealth, LinkId, NetState, NodeId, RackLoc, Topology};
@@ -222,8 +222,8 @@ pub struct Engine {
     fleet: RobotFleet,
     injector: FaultInjector,
     links_rt: Vec<LinkRt>,
-    active: HashMap<TicketId, ActiveRepair>,
-    forced_action: HashMap<TicketId, RepairAction>,
+    active: BTreeMap<TicketId, ActiveRepair>,
+    forced_action: BTreeMap<TicketId, RepairAction>,
     avail: FleetAvailability,
     costs: CostLedger,
     zones: ZoneLedger,
@@ -241,9 +241,9 @@ pub struct Engine {
     recovery_rng: Stream,
     // Recovery plumbing.
     attempt_seq: u64,
-    recovery_state: HashMap<TicketId, RecoveryState>,
-    exclude_unit: HashMap<TicketId, usize>,
-    forced_human: std::collections::HashSet<TicketId>,
+    recovery_state: BTreeMap<TicketId, RecoveryState>,
+    exclude_unit: BTreeMap<TicketId, usize>,
+    forced_human: std::collections::BTreeSet<TicketId>,
     recovery_queue: Vec<TicketId>,
     // Report counters.
     incidents: u64,
@@ -251,8 +251,8 @@ pub struct Engine {
     cascade_bursts: u64,
     cascade_bursts_live: u64,
     burst_impact_loss_s: f64,
-    tickets_by_trigger: HashMap<&'static str, u64>,
-    actions: HashMap<RepairAction, ActionStats>,
+    tickets_by_trigger: BTreeMap<&'static str, u64>,
+    actions: BTreeMap<RepairAction, ActionStats>,
     tech_time: SimDuration,
     human_escalations: u64,
     campaigns: u64,
@@ -261,10 +261,10 @@ pub struct Engine {
     drains_deferred: u64,
     drain_capacity_impact: f64,
     campaign_drain_impact: f64,
-    trough_deferred: std::collections::HashSet<TicketId>,
+    trough_deferred: std::collections::BTreeSet<TicketId>,
     attempts_per_fix: Vec<u32>,
-    fixed_attempts_by_ticket: HashMap<TicketId, bool>,
-    defer_counts: HashMap<TicketId, u32>,
+    fixed_attempts_by_ticket: BTreeMap<TicketId, bool>,
+    defer_counts: BTreeMap<TicketId, u32>,
     // Robustness counters (all zero with faults disabled).
     op_stalls: u64,
     op_aborts_safe: u64,
@@ -351,9 +351,9 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         faults_rng: rng.stream("robot-faults", 0),
         recovery_rng: rng.stream("recovery", 0),
         attempt_seq: 0,
-        recovery_state: HashMap::new(),
-        exclude_unit: HashMap::new(),
-        forced_human: std::collections::HashSet::new(),
+        recovery_state: BTreeMap::new(),
+        exclude_unit: BTreeMap::new(),
+        forced_human: std::collections::BTreeSet::new(),
         recovery_queue: Vec::new(),
         avail: FleetAvailability::new(SimTime::ZERO),
         costs: CostLedger::new(),
@@ -384,16 +384,16 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         fleet,
         injector,
         links_rt,
-        active: HashMap::new(),
-        forced_action: HashMap::new(),
+        active: BTreeMap::new(),
+        forced_action: BTreeMap::new(),
         service_pairs,
         incidents: 0,
         cascade_incidents: 0,
         cascade_bursts: 0,
         cascade_bursts_live: 0,
         burst_impact_loss_s: 0.0,
-        tickets_by_trigger: HashMap::new(),
-        actions: HashMap::new(),
+        tickets_by_trigger: BTreeMap::new(),
+        actions: BTreeMap::new(),
         tech_time: SimDuration::ZERO,
         human_escalations: 0,
         campaigns: 0,
@@ -402,10 +402,10 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         drains_deferred: 0,
         drain_capacity_impact: 0.0,
         campaign_drain_impact: 0.0,
-        trough_deferred: std::collections::HashSet::new(),
+        trough_deferred: std::collections::BTreeSet::new(),
         attempts_per_fix: Vec::new(),
-        fixed_attempts_by_ticket: HashMap::new(),
-        defer_counts: HashMap::new(),
+        fixed_attempts_by_ticket: BTreeMap::new(),
+        defer_counts: BTreeMap::new(),
         op_stalls: 0,
         op_aborts_safe: 0,
         op_aborts_unsafe: 0,
@@ -1887,7 +1887,7 @@ impl Engine {
         // control plane mid-run; it just sorts last.
         candidates.sort_by(|&a, &b| scored[b].1.total_cmp(&scored[a].1));
         candidates.truncate(max_flags);
-        let flagged_set: std::collections::HashSet<LinkId> =
+        let flagged_set: std::collections::BTreeSet<LinkId> =
             candidates.iter().map(|&i| scored[i].0).collect();
         for &i in &candidates {
             let l = scored[i].0;
@@ -1974,7 +1974,7 @@ impl Engine {
         // Leak audit: anything still held at the horizon must belong to
         // a repair genuinely in flight. A claim or drain owned by
         // nobody is a bug the abort invariant exists to prevent.
-        let active_claims: std::collections::HashSet<ClaimId> =
+        let active_claims: std::collections::BTreeSet<ClaimId> =
             self.active.values().map(|r| r.claim).collect();
         let zone_claims_leaked = self
             .zones
@@ -1982,7 +1982,7 @@ impl Engine {
             .into_iter()
             .filter(|id| !active_claims.contains(id))
             .count() as u64;
-        let drained_by_active: std::collections::HashSet<LinkId> = self
+        let drained_by_active: std::collections::BTreeSet<LinkId> = self
             .active
             .values()
             .filter_map(|r| r.announcement.as_ref())

@@ -4,7 +4,7 @@
 //! definitions point here. Keeping the report flat (numbers and sample
 //! sets, no simulation objects) makes runs comparable and serializable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dcmaint_des::{SimDuration, SimTime};
 use dcmaint_faults::RepairAction;
@@ -82,7 +82,7 @@ pub struct RunReport {
     /// hit routable links (lossy link-seconds inflicted on traffic).
     pub burst_impact_loss_s: f64,
     /// Tickets opened, by trigger label.
-    pub tickets_by_trigger: HashMap<&'static str, u64>,
+    pub tickets_by_trigger: BTreeMap<&'static str, u64>,
     /// Tickets closed with a verified fix.
     pub tickets_fixed: u64,
     /// Tickets closed spurious (self-healed / false positive).
@@ -93,7 +93,7 @@ pub struct RunReport {
     /// Repair attempts per fixed reactive ticket.
     pub attempts_per_fix: Vec<u32>,
     /// Per-action stats.
-    pub actions: HashMap<RepairAction, ActionStats>,
+    pub actions: BTreeMap<RepairAction, ActionStats>,
     /// Link availability over the run.
     pub availability: FleetSummary,
     /// Operating costs.
@@ -425,7 +425,7 @@ mod tests {
             tickets_spurious: 0,
             service_windows: dcmaint_metrics::DurationSamples::new(),
             attempts_per_fix: vec![1, 2],
-            actions: HashMap::new(),
+            actions: BTreeMap::new(),
             availability: avail,
             costs: dcmaint_metrics::CostLedger::new(),
             tech_time: SimDuration::from_hours(3),

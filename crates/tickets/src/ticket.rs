@@ -173,7 +173,7 @@ impl Ticket {
 #[derive(Debug, Default)]
 pub struct TicketBoard {
     tickets: Vec<Ticket>,
-    open_by_link: std::collections::HashMap<LinkId, TicketId>,
+    open_by_link: std::collections::BTreeMap<LinkId, TicketId>,
     next_id: u64,
     journal: Journal,
 }

@@ -28,7 +28,7 @@
 
 pub mod reconfig;
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use dcmaint_dcnet::routing::pair_connectivity;
 use dcmaint_dcnet::{AdminState, NetState, NodeId, Topology};
@@ -80,9 +80,9 @@ pub fn analyze(topo: &Topology, pair_samples: usize, rng: &SimRng) -> Maintainab
     let mut total_len = 0.0;
     let mut cross_rack = 0usize;
     let mut cross_row = 0usize;
-    let mut skus: HashSet<u64> = HashSet::new();
+    let mut skus: BTreeSet<u64> = BTreeSet::new();
     let mut blast = 0usize;
-    let mut rack_pairs: HashSet<(u32, u32)> = HashSet::new();
+    let mut rack_pairs: BTreeSet<(u32, u32)> = BTreeSet::new();
     for l in topo.link_ids() {
         let link = topo.link(l);
         total_len += link.cable.length_m;

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example cleaning_robot`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::faults::EndFace;
 use selfmaint::prelude::*;
 use selfmaint::robotics::{run_clean, OpTimings, VisionModel};

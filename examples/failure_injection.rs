@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example failure_injection`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::control::{assess_window, ControllerConfig};
 use selfmaint::net::gen::leaf_spine;
 use selfmaint::prelude::*;

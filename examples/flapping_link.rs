@@ -10,6 +10,8 @@
 //!
 //! Run with: `cargo run --release --example flapping_link`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::faults::{FlapPhase, FlapProcess};
 use selfmaint::net::flows::{all_to_all, allocate, tail_latency_multiplier};
 use selfmaint::net::gen::leaf_spine;

@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release --example incident_trace`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::prelude::*;
 
 fn main() {

@@ -12,6 +12,8 @@
 //!
 //! Run with: `cargo run --release --example proactive_campaign`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::control::{ProactiveConfig, ProactivePlanner};
 use selfmaint::faults::diurnal_utilization;
 use selfmaint::net::gen::leaf_spine;

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example robot_breakdown`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::faults::RobotFaultConfig;
 use selfmaint::prelude::*;
 use selfmaint::scenarios::RunReport;

@@ -10,6 +10,8 @@
 //!
 //! Run with: `cargo run --release --example topology_report`
 
+#![forbid(unsafe_code)]
+
 use selfmaint::prelude::*;
 use selfmaint::scenarios::experiments::e8;
 use selfmaint::topomaint::analyze;

@@ -22,6 +22,11 @@
 //!                  # byte-identical stdout for any --jobs value; wall
 //!                  # scaling to BENCH_sweep.json (--bench-sweep, off
 //!                  # stdout like --bench-obs)
+//! selfmaint lint   [--root DIR] [--baseline PATH] [--json]
+//!                  [--write-baseline] [--list-rules]
+//!                  # dcmaint-lint determinism & hygiene pass: exits
+//!                  # nonzero on any non-baseline finding (the same
+//!                  # gate CI runs)
 //! ```
 //!
 //! Arguments are parsed by hand — the CLI surface is small and the
@@ -29,6 +34,8 @@
 //! `selfmaint::scenarios::cli` (shared with the `experiments` binary)
 //! and treat an unparseable flag value as a usage error, never a silent
 //! fall-back to the default.
+
+#![forbid(unsafe_code)]
 
 use selfmaint::control::{advise, ControllerConfig};
 use selfmaint::metrics::{fnum, nines, Align, Table};
@@ -45,9 +52,10 @@ fn main() {
         Some("levels") => cmd_levels(),
         Some("trace") => cmd_trace(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("lint") => std::process::exit(dcmaint_lint::run_cli(&args[1..])),
         _ => {
             eprintln!(
-                "usage: selfmaint <run|advise|topo|levels|trace|sweep> [options]\n\
+                "usage: selfmaint <run|advise|topo|levels|trace|sweep|lint> [options]\n\
                  try: selfmaint run --level L3 --days 30\n\
                  or:  selfmaint trace --days 14 --incident 0\n\
                  or:  selfmaint sweep --seeds 8 --jobs 4"
@@ -418,6 +426,7 @@ fn bench_sweep(p: &EngineSweepParams) {
     for workers in [1usize, 2, 4, 8] {
         let mut pw = p.clone();
         pw.jobs = workers;
+        // lint:allow(wall-clock): --bench-sweep wall timing is measurement-only and lands in BENCH_sweep.json, never on deterministic stdout
         let t0 = std::time::Instant::now();
         let out = run_engine_sweep(&pw);
         let wall = t0.elapsed().as_secs_f64();

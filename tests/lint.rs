@@ -1,0 +1,23 @@
+//! The static determinism gate, as a test: the workspace tree must be
+//! lint-clean (zero non-baseline findings). This is the same check CI
+//! runs via `cargo run -p dcmaint-lint`; running it under `cargo test`
+//! too means a hazard can't land even where CI is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // CARGO_MANIFEST_DIR of the root package is the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome =
+        dcmaint_lint::lint_tree(root, &root.join("lint-baseline.txt")).expect("lint run failed");
+    assert!(
+        outcome.clean(),
+        "dcmaint-lint found non-baseline findings:\n{}",
+        dcmaint_lint::report::render_text(&outcome)
+    );
+    assert!(
+        outcome.files > 100,
+        "walk found too few files — wrong root?"
+    );
+}

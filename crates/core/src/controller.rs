@@ -239,6 +239,56 @@ impl MaintenanceController {
         self.predictor.as_ref()
     }
 
+    /// Append the controller's mutable state to a checkpoint: the
+    /// proactive planner's ledgers and the predictor's learned weights.
+    /// Configuration, the (stateless) escalation engine, and the journal
+    /// handle are not recorded.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        match &self.proactive {
+            None => enc.bool(false),
+            Some(p) => {
+                enc.bool(true);
+                p.save(enc);
+            }
+        }
+        match &self.predictor {
+            None => enc.bool(false),
+            Some(p) => {
+                enc.bool(true);
+                p.save(enc);
+            }
+        }
+    }
+
+    /// Restore checkpointed state into a controller freshly built from
+    /// the same config (so the proactive/predictive gating matches).
+    /// Inverse of [`MaintenanceController::save`].
+    pub fn restore(&mut self, dec: &mut dcmaint_ckpt::Dec) -> Result<(), dcmaint_ckpt::CkptError> {
+        let has_proactive = dec.bool()?;
+        match (&mut self.proactive, has_proactive) {
+            (None, false) => {}
+            (Some(p), true) => p.restore(dec)?,
+            _ => {
+                return Err(dcmaint_ckpt::CkptError::BadTag(
+                    "controller-proactive",
+                    u64::from(has_proactive),
+                ))
+            }
+        }
+        let has_predictor = dec.bool()?;
+        match (&mut self.predictor, has_predictor) {
+            (None, false) => {}
+            (Some(p), true) => *p = Predictor::load(dec)?,
+            _ => {
+                return Err(dcmaint_ckpt::CkptError::BadTag(
+                    "controller-predictor",
+                    u64::from(has_predictor),
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Predictive config, if enabled.
     pub fn predictive_config(&self) -> Option<&PredictiveConfig> {
         self.cfg

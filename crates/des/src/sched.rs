@@ -104,6 +104,10 @@ pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
     canceled: BTreeSet<u64>,
+    /// Tombstones believed to sit in the heap. Exact for cancels of
+    /// genuinely pending events; a cancel of an already-fired key
+    /// overcounts until the next compaction recomputes the truth.
+    tombstones: usize,
     delivered: u64,
     horizon: SimTime,
 }
@@ -122,6 +126,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             seq: 0,
             canceled: BTreeSet::new(),
+            tombstones: 0,
             delivered: 0,
             horizon: SimTime::MAX,
         }
@@ -155,6 +160,20 @@ impl<E> Scheduler<E> {
     /// Number of events still pending (including lazily-canceled ones).
     pub fn pending(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Alias for [`Scheduler::pending`]: queue length including
+    /// tombstones — what the heap physically holds.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of events that will actually fire: the queue length minus
+    /// known tombstones. Exact whenever cancels targeted genuinely
+    /// pending events (canceling an already-fired key overcounts the
+    /// tombstone estimate until the next compaction corrects it).
+    pub fn live_len(&self) -> usize {
+        self.heap.len().saturating_sub(self.tombstones)
     }
 
     /// True if no events remain.
@@ -200,12 +219,41 @@ impl<E> Scheduler<E> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event had
-    /// not yet fired or been canceled. O(1); removal happens lazily on pop.
+    /// not yet fired or been canceled. Amortized O(1); removal happens
+    /// lazily on pop, with a compaction pass once tombstones exceed half
+    /// the heap (so canceled events never dominate memory — or a
+    /// checkpoint's serialized queue).
     pub fn cancel(&mut self, key: EventKey) -> bool {
         if key.0 >= self.seq {
             return false;
         }
-        self.canceled.insert(key.0)
+        let fresh = self.canceled.insert(key.0);
+        if fresh {
+            self.tombstones += 1;
+            self.maybe_compact();
+        }
+        fresh
+    }
+
+    /// Rebuild the heap without tombstoned entries once they exceed half
+    /// of it. Only keys actually found in the heap leave the canceled
+    /// set: a key canceled *after* firing stays recorded, preserving the
+    /// double-cancel contract (`cancel` returns `false` the second time).
+    fn maybe_compact(&mut self) {
+        if self.tombstones * 2 <= self.heap.len() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut live = Vec::with_capacity(entries.len());
+        for e in entries {
+            if !self.canceled.remove(&e.seq) {
+                live.push(e);
+            }
+        }
+        self.heap = BinaryHeap::from(live);
+        // Whatever remains in `canceled` refers to already-fired keys —
+        // not tombstones in the heap.
+        self.tombstones = 0;
     }
 
     /// Timestamp of the next event that will fire, if any.
@@ -248,9 +296,77 @@ impl<E> Scheduler<E> {
         while let Some(e) = self.heap.peek() {
             if self.canceled.remove(&e.seq) {
                 self.heap.pop();
+                self.tombstones = self.tombstones.saturating_sub(1);
             } else {
                 break;
             }
+        }
+    }
+
+    // ----- checkpoint support ----------------------------------------
+
+    /// Export the pending queue in canonical `(at, seq)` order, each
+    /// entry as `(at, seq, &payload)`. Tombstoned entries are included —
+    /// a snapshot must reproduce the queue *exactly* so a restored run
+    /// compacts at the same instants a continuous one does. The sort
+    /// makes the serialization canonical: two schedulers holding the
+    /// same logical queue export identical sequences regardless of heap
+    /// layout history.
+    pub fn export_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut v: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.at, e.seq, &e.payload))
+            .collect();
+        v.sort_by_key(|&(at, seq, _)| (at, seq));
+        v
+    }
+
+    /// Export the tombstone set (canceled keys not yet lazily removed,
+    /// plus keys canceled after firing).
+    pub fn export_canceled(&self) -> Vec<u64> {
+        self.canceled.iter().copied().collect()
+    }
+
+    /// The next sequence number to be assigned (exported so a restored
+    /// scheduler hands out the same keys a continuous one would).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Rebuild a scheduler from exported state. `entries` are `(at, seq,
+    /// payload)` triples in the canonical order [`Scheduler::export_entries`]
+    /// produces; `canceled` is the exported tombstone set. The tombstone
+    /// count is recomputed exactly (every canceled key matched against
+    /// the entries), so compaction behavior after restore is identical
+    /// to the continuous run's.
+    pub fn restore(
+        now: SimTime,
+        seq: u64,
+        delivered: u64,
+        horizon: SimTime,
+        entries: Vec<(SimTime, u64, E)>,
+        canceled: Vec<u64>,
+    ) -> Self {
+        let canceled: BTreeSet<u64> = canceled.into_iter().collect();
+        let tombstones = entries
+            .iter()
+            .filter(|(_, s, _)| canceled.contains(s))
+            .count();
+        let heap = BinaryHeap::from(
+            entries
+                .into_iter()
+                .map(|(at, seq, payload)| Entry { at, seq, payload })
+                .collect::<Vec<_>>(),
+        );
+        Scheduler {
+            heap,
+            now,
+            seq,
+            canceled,
+            tombstones,
+            delivered,
+            horizon,
         }
     }
 }
@@ -377,6 +493,97 @@ mod tests {
         assert_eq!(st.now, SimTime::from_micros(10));
         assert_eq!(st.delivered, 1);
         assert_eq!(st.pending, 1);
+    }
+
+    #[test]
+    fn tombstone_compaction_bounds_the_heap() {
+        // Schedule N events, cancel most of them: the heap must shed the
+        // tombstones instead of carrying them to the end of the run.
+        let mut s = Scheduler::new();
+        let keys: Vec<EventKey> = (0..100u64)
+            .map(|i| s.schedule(SimTime::from_micros(1000 + i), i))
+            .collect();
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.live_len(), 100);
+        for k in &keys[..80] {
+            assert!(s.cancel(*k));
+        }
+        // Compaction keeps the physical queue within 2× the live count:
+        // tombstones never outnumber live entries.
+        assert_eq!(s.live_len(), 20);
+        assert!(
+            s.len() <= 2 * s.live_len(),
+            "heap {} > 2× live {} — tombstones not compacted",
+            s.len(),
+            s.live_len()
+        );
+        // Delivery is unaffected: exactly the uncanceled payloads, in order.
+        let got: Vec<_> = std::iter::from_fn(|| s.pop().map(|f| f.payload)).collect();
+        assert_eq!(got, (80..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compaction_preserves_cancel_semantics() {
+        let mut s = Scheduler::new();
+        let fired = s.schedule(SimTime::from_micros(1), "f");
+        s.pop();
+        // Cancel of a fired key still reports true once, false after —
+        // even though the compaction right after it runs on an empty heap.
+        assert!(s.cancel(fired));
+        assert!(!s.cancel(fired));
+        // And live cancels still dedupe across a compaction boundary.
+        let a = s.schedule(SimTime::from_micros(10), "a");
+        let _b = s.schedule(SimTime::from_micros(20), "b");
+        assert!(s.cancel(a));
+        assert!(!s.cancel(a));
+        assert_eq!(s.live_len(), 1);
+    }
+
+    #[test]
+    fn export_restore_round_trip_preserves_delivery() {
+        let mut s = Scheduler::with_horizon(SimTime::from_micros(10_000));
+        for i in 0..20u64 {
+            s.schedule(SimTime::from_micros(100 + 7 * i), i);
+        }
+        let k = s.schedule(SimTime::from_micros(150), 99);
+        s.cancel(k);
+        // Advance partway.
+        for _ in 0..5 {
+            s.pop();
+        }
+        // Snapshot.
+        let entries: Vec<(SimTime, u64, u64)> = s
+            .export_entries()
+            .into_iter()
+            .map(|(at, seq, p)| (at, seq, *p))
+            .collect();
+        // Canonical order is sorted (at, seq).
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|&(at, seq, _)| (at, seq));
+        assert_eq!(entries, sorted);
+        let canceled = s.export_canceled();
+        let mut restored = Scheduler::restore(
+            s.now(),
+            s.next_seq(),
+            s.delivered(),
+            s.horizon(),
+            entries,
+            canceled,
+        );
+        // Both deliver identical (time, payload, key) sequences from here.
+        loop {
+            let a = s.pop();
+            let b = restored.pop();
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.at, x.payload, x.key), (y.at, y.payload, y.key));
+                }
+                (x, y) => panic!("length mismatch: {:?} vs {:?}", x.is_some(), y.is_some()),
+            }
+        }
+        assert_eq!(s.now(), restored.now());
+        assert_eq!(s.delivered(), restored.delivered());
     }
 
     #[test]

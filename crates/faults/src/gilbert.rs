@@ -85,6 +85,30 @@ impl FlapProcess {
         .sample_duration(rng)
     }
 
+    /// Append this process's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.u64(self.mean_good.as_micros());
+        enc.u64(self.mean_bad.as_micros());
+        enc.f64(self.loss_bad);
+        enc.f64(self.loss_good);
+        enc.bool(self.phase == FlapPhase::Bad);
+    }
+
+    /// Inverse of [`FlapProcess::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        Ok(FlapProcess {
+            mean_good: SimDuration::from_micros(dec.u64()?),
+            mean_bad: SimDuration::from_micros(dec.u64()?),
+            loss_bad: dec.f64()?,
+            loss_good: dec.f64()?,
+            phase: if dec.bool()? {
+                FlapPhase::Bad
+            } else {
+                FlapPhase::Good
+            },
+        })
+    }
+
     /// Long-run fraction of time spent in the Bad phase.
     pub fn bad_duty_cycle(&self) -> f64 {
         let g = self.mean_good.as_secs_f64();

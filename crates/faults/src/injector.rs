@@ -121,6 +121,27 @@ impl FaultInjector {
         .sample_duration(&mut self.manifests)
     }
 
+    /// Append the injector's RNG positions to a checkpoint. The config is
+    /// rebuilt from the scenario config on restore, so only stream
+    /// positions are recorded.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.u64(self.arrivals.draws());
+        enc.u64(self.causes.draws());
+        enc.u64(self.manifests.draws());
+    }
+
+    /// Fast-forward a freshly constructed injector to checkpointed stream
+    /// positions. Inverse of [`FaultInjector::save`].
+    pub fn restore_draws(
+        &mut self,
+        dec: &mut dcmaint_ckpt::Dec,
+    ) -> Result<(), dcmaint_ckpt::CkptError> {
+        self.arrivals.fast_forward_to(dec.u64()?);
+        self.causes.fast_forward_to(dec.u64()?);
+        self.manifests.fast_forward_to(dec.u64()?);
+        Ok(())
+    }
+
     fn manifest(&mut self, link: LinkId, cause: RootCause) -> Incident {
         let (health, loss) = cause.manifest(&mut self.manifests);
         // Only gray failures self-heal; hard-down hardware does not come

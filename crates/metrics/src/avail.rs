@@ -72,6 +72,28 @@ impl AvailabilityTracker {
         self.up
     }
 
+    /// Append this tracker's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.bool(self.up);
+        enc.u64(self.since.as_micros());
+        enc.u64(self.up_total.as_micros());
+        enc.u64(self.down_total.as_micros());
+        enc.u64(self.transitions_down);
+        self.downtime_windows.save(enc);
+    }
+
+    /// Inverse of [`AvailabilityTracker::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        Ok(AvailabilityTracker {
+            up: dec.bool()?,
+            since: SimTime::from_micros(dec.u64()?),
+            up_total: SimDuration::from_micros(dec.u64()?),
+            down_total: SimDuration::from_micros(dec.u64()?),
+            transitions_down: dec.u64()?,
+            downtime_windows: crate::stats::DurationSamples::load(dec)?,
+        })
+    }
+
     /// Close the ledger at `end` (attributing the open interval) and return
     /// a summary. The tracker remains usable.
     pub fn summarize(&self, end: SimTime) -> AvailabilitySummary {
@@ -174,6 +196,28 @@ impl FleetAvailability {
     /// Number of tracked entities (ones ever touched).
     pub fn tracked(&self) -> usize {
         self.trackers.len()
+    }
+
+    /// Append this ledger's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.u64(self.start.as_micros());
+        enc.usize(self.trackers.len());
+        for (&key, tr) in &self.trackers {
+            enc.u64(key);
+            tr.save(enc);
+        }
+    }
+
+    /// Inverse of [`FleetAvailability::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        let start = SimTime::from_micros(dec.u64()?);
+        let n = dec.usize()?;
+        let mut trackers = BTreeMap::new();
+        for _ in 0..n {
+            let key = dec.u64()?;
+            trackers.insert(key, AvailabilityTracker::load(dec)?);
+        }
+        Ok(FleetAvailability { trackers, start })
     }
 
     /// Fleet-wide summary at `end` over `population` entities. Entities

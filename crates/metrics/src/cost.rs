@@ -112,6 +112,26 @@ impl CostLedger {
         self.labor + self.robots + self.hardware + self.downtime + self.redundancy
     }
 
+    /// Append this ledger's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.f64(self.labor);
+        enc.f64(self.robots);
+        enc.f64(self.hardware);
+        enc.f64(self.downtime);
+        enc.f64(self.redundancy);
+    }
+
+    /// Inverse of [`CostLedger::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        Ok(CostLedger {
+            labor: dec.f64()?,
+            robots: dec.f64()?,
+            hardware: dec.f64()?,
+            downtime: dec.f64()?,
+            redundancy: dec.f64()?,
+        })
+    }
+
     /// Merge another ledger into this one.
     pub fn merge(&mut self, other: &CostLedger) {
         self.labor += other.labor;

@@ -290,6 +290,45 @@ impl SampleSet {
     pub fn mean_ci95(&self) -> Ci95 {
         mean_ci95(&self.samples)
     }
+
+    /// Append this collector's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.u64(self.seen);
+        // `usize::MAX` means "uncapped" and must survive 32-bit targets.
+        enc.u64(if self.cap == usize::MAX {
+            u64::MAX
+        } else {
+            self.cap as u64
+        });
+        enc.bool(self.sorted);
+        enc.usize(self.samples.len());
+        for &x in &self.samples {
+            enc.f64(x);
+        }
+    }
+
+    /// Inverse of [`SampleSet::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        let seen = dec.u64()?;
+        let cap_raw = dec.u64()?;
+        let cap = if cap_raw == u64::MAX {
+            usize::MAX
+        } else {
+            cap_raw as usize
+        };
+        let sorted = dec.bool()?;
+        let n = dec.usize()?;
+        let mut samples = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            samples.push(dec.f64()?);
+        }
+        Ok(SampleSet {
+            samples,
+            seen,
+            cap,
+            sorted,
+        })
+    }
 }
 
 /// A mean with a symmetric 95% confidence half-width.
@@ -465,6 +504,16 @@ impl DurationSamples {
     /// Access the underlying seconds-valued sample set.
     pub fn as_samples(&mut self) -> &mut SampleSet {
         &mut self.0
+    }
+
+    /// Append this collector's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        self.0.save(enc);
+    }
+
+    /// Inverse of [`DurationSamples::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        Ok(DurationSamples(SampleSet::load(dec)?))
     }
 }
 

@@ -222,6 +222,63 @@ impl ObsRegistry {
         }
     }
 
+    /// Append the registry's state to a checkpoint. Series order is the
+    /// first-touch order, which save/load preserve exactly.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.bool(self.enabled);
+        enc.usize(self.counters.len());
+        for &(name, v) in &self.counters {
+            enc.str(name);
+            enc.u64(v);
+        }
+        enc.usize(self.hists.len());
+        for h in &self.hists {
+            enc.str(h.family);
+            enc.str(h.key);
+            for &c in &h.counts {
+                enc.u64(c);
+            }
+            enc.u64(h.overflow);
+            enc.u64(h.total);
+            enc.u64(h.sum_us);
+        }
+    }
+
+    /// Inverse of [`ObsRegistry::save`]. Labels come back through the
+    /// process-wide intern table (`&'static str` keys).
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        let enabled = dec.bool()?;
+        let nc = dec.usize()?;
+        let mut counters = Vec::with_capacity(nc.min(4096));
+        for _ in 0..nc {
+            let name = dcmaint_ckpt::intern(&dec.str()?);
+            counters.push((name, dec.u64()?));
+        }
+        let nh = dec.usize()?;
+        let mut hists = Vec::with_capacity(nh.min(4096));
+        for _ in 0..nh {
+            let family = dcmaint_ckpt::intern(&dec.str()?);
+            let key = dcmaint_ckpt::intern(&dec.str()?);
+            let mut counts = [0u64; BOUNDS_US.len()];
+            for c in &mut counts {
+                *c = dec.u64()?;
+            }
+            hists.push(Hist {
+                family,
+                key,
+                counts,
+                overflow: dec.u64()?,
+                total: dec.u64()?,
+                sum_us: dec.u64()?,
+            });
+        }
+        Ok(ObsRegistry {
+            enabled,
+            counters,
+            hists,
+        })
+    }
+
     /// Render counters and histogram summaries as stable JSON lines
     /// (one object per line), for appending to a journal dump.
     pub fn snapshot_lines(&self) -> Vec<String> {

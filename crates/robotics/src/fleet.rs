@@ -444,6 +444,49 @@ impl RobotFleet {
         self.units[unit].spares = self.cfg.spares_per_unit;
     }
 
+    /// Append the fleet's mutable state (per-unit ledgers and the RNG
+    /// stream position) to a checkpoint. Configuration, timings, vision
+    /// model, and the journal handle are not recorded — the restoring
+    /// side rebuilds them from the same `FleetConfig`.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.usize(self.units.len());
+        for u in &self.units {
+            enc.u32(u.home_row);
+            enc.u64(u.busy_until.as_micros());
+            enc.u64(u.down_until.as_micros());
+            enc.u32(u.spares);
+            enc.u64(u.ops_done);
+            enc.u64(u.busy_time.as_micros());
+            enc.bool(u.degraded);
+            enc.u64(u.breakdowns);
+            enc.u64(u.repairs);
+        }
+        enc.u64(self.rng.draws());
+    }
+
+    /// Restore checkpointed state into a freshly constructed fleet.
+    /// Inverse of [`RobotFleet::save`].
+    pub fn restore(&mut self, dec: &mut dcmaint_ckpt::Dec) -> Result<(), dcmaint_ckpt::CkptError> {
+        let n = dec.usize()?;
+        let mut units = Vec::with_capacity(n);
+        for _ in 0..n {
+            units.push(RobotUnit {
+                home_row: dec.u32()?,
+                busy_until: SimTime::from_micros(dec.u64()?),
+                down_until: SimTime::from_micros(dec.u64()?),
+                spares: dec.u32()?,
+                ops_done: dec.u64()?,
+                busy_time: SimDuration::from_micros(dec.u64()?),
+                degraded: dec.bool()?,
+                breakdowns: dec.u64()?,
+                repairs: dec.u64()?,
+            });
+        }
+        self.units = units;
+        self.rng.fast_forward_to(dec.u64()?);
+        Ok(())
+    }
+
     /// Fleet-wide cumulative busy time (for cost accounting).
     pub fn total_busy(&self) -> SimDuration {
         self.units

@@ -142,6 +142,12 @@ pub struct ScenarioConfig {
     /// makes zero allocations and zero RNG draws, so seeded runs stay
     /// byte-identical to the pre-obs engine.
     pub obs: ObsConfig,
+    /// **Deliberately breaks determinism** (demo/testing only): routes
+    /// fault targeting through a `HashMap`, whose iteration order varies
+    /// per map instance. Exists so `selfmaint bisect` has a reproducible
+    /// way to demonstrate localizing a divergence; never enable in real
+    /// experiments.
+    pub nondet_demo: bool,
 }
 
 /// One scripted incident for failure-injection runs.
@@ -191,6 +197,7 @@ impl ScenarioConfig {
             robot_faults: RobotFaultConfig::default(),
             recovery: RecoveryPolicy::default(),
             obs: ObsConfig::default(),
+            nondet_demo: false,
         }
     }
 

@@ -58,7 +58,7 @@ use crate::config::ScenarioConfig;
 use crate::report::{ActionStats, RunReport};
 
 /// Engine events.
-enum Ev {
+pub(crate) enum Ev {
     /// Next organic incident arrival.
     Fault,
     /// A gray incident clears on its own.
@@ -135,33 +135,33 @@ impl Ev {
 }
 
 /// Active incident on a link (hidden from policy).
-struct ActiveIncident {
-    cause: RootCause,
-    health: LinkHealth,
-    loss: f64,
+pub(crate) struct ActiveIncident {
+    pub(crate) cause: RootCause,
+    pub(crate) health: LinkHealth,
+    pub(crate) loss: f64,
     /// When the fault manifested — the anchor for trace detect latency.
-    started: SimTime,
+    pub(crate) started: SimTime,
 }
 
 /// Per-link runtime state beyond `NetState`.
-struct LinkRt {
-    incident: Option<ActiveIncident>,
-    flap: Option<FlapProcess>,
-    burst_loss: Option<f64>,
+pub(crate) struct LinkRt {
+    pub(crate) incident: Option<ActiveIncident>,
+    pub(crate) flap: Option<FlapProcess>,
+    pub(crate) burst_loss: Option<f64>,
     /// Bumped whenever incident/burst state is replaced; stale events
     /// carrying an older epoch are ignored.
-    epoch: u64,
-    last_maintenance: SimTime,
+    pub(crate) epoch: u64,
+    pub(crate) last_maintenance: SimTime,
     /// A fault developing but not yet manifested: either a gradual
     /// organic failure in its precursor phase or a disturbance-seeded
     /// cascade. While pending, the link carries a sub-clinical
     /// [`PRECURSOR_LOSS`] — below the alerting threshold, but visible in
     /// errored-seconds telemetry. This is the physical signal the §4
     /// predictive loop learns.
-    pending_latent: Option<RootCause>,
+    pub(crate) pending_latent: Option<RootCause>,
     /// Whether the pending fault was seeded by physical disturbance
     /// (reporting: cascades are counted separately).
-    pending_is_cascade: bool,
+    pub(crate) pending_is_cascade: bool,
 }
 
 /// Sub-clinical loss carried by a link with a developing fault: above
@@ -174,118 +174,129 @@ const PRECURSOR_LOSS: f64 = 4e-4;
 const GRADUAL_FRACTION: f64 = 0.7;
 
 /// A dispatched repair in flight.
-struct ActiveRepair {
-    link: LinkId,
-    action: RepairAction,
-    executor: Executor,
-    announcement: Option<PreContactAnnouncement>,
-    robot_unit: Option<usize>,
+pub(crate) struct ActiveRepair {
+    pub(crate) link: LinkId,
+    pub(crate) action: RepairAction,
+    pub(crate) executor: Executor,
+    pub(crate) announcement: Option<PreContactAnnouncement>,
+    pub(crate) robot_unit: Option<usize>,
     /// Robot op already determined to escalate to a human.
-    robot_escalated: bool,
+    pub(crate) robot_escalated: bool,
     /// Pre-sampled: will the human botch this action?
-    human_botched: bool,
+    pub(crate) human_botched: bool,
     /// Pre-simulated physical outcome (humans always `Completed`; the
     /// controller does not see this — it only observes the events the
     /// outcome produces, or their absence).
-    outcome: OpOutcome,
+    pub(crate) outcome: OpOutcome,
     /// The operation's completion/escalation report was lost in
     /// transit; only the watchdog recovers it.
-    lost: bool,
+    pub(crate) lost: bool,
     /// Safety-zone claim held for the hands-on window.
-    claim: ClaimId,
+    pub(crate) claim: ClaimId,
     /// Monotone booking id; stale per-attempt events are ignored.
-    attempt: u64,
+    pub(crate) attempt: u64,
     /// Scheduled hands-on start.
-    start: SimTime,
+    pub(crate) start: SimTime,
     /// Trace detail: travel share of the hands-on window (zero for
     /// humans). Recorded at booking, consumed at hands-on start.
-    obs_travel: SimDuration,
+    pub(crate) obs_travel: SimDuration,
     /// Trace detail: `(phase label, duration)` of the pre-simulated op.
     /// Populated only when traces are enabled (empty Vec allocates
     /// nothing), so disabled runs carry no extra weight.
-    obs_phases: Vec<(&'static str, SimDuration)>,
+    pub(crate) obs_phases: Vec<(&'static str, SimDuration)>,
     /// Trace detail: label for time past the last completed phase
     /// (stall wait, abort back-out, report-loss wait, manual work).
-    obs_residue: &'static str,
+    pub(crate) obs_residue: &'static str,
 }
 
 /// The engine. Construct via [`run`]; exposed for the integration tests
 /// that poke intermediate state.
 pub struct Engine {
-    cfg: ScenarioConfig,
-    topo: Topology,
-    state: NetState,
-    telemetry: TelemetryPlane,
-    board: TicketBoard,
-    controller: MaintenanceController,
-    techs: TechnicianPool,
-    fleet: RobotFleet,
-    injector: FaultInjector,
-    links_rt: Vec<LinkRt>,
-    active: BTreeMap<TicketId, ActiveRepair>,
-    forced_action: BTreeMap<TicketId, RepairAction>,
-    avail: FleetAvailability,
-    costs: CostLedger,
-    zones: ZoneLedger,
-    service_pairs: Vec<(NodeId, NodeId)>,
+    pub(crate) cfg: ScenarioConfig,
+    pub(crate) topo: Topology,
+    pub(crate) state: NetState,
+    pub(crate) telemetry: TelemetryPlane,
+    pub(crate) board: TicketBoard,
+    pub(crate) controller: MaintenanceController,
+    pub(crate) techs: TechnicianPool,
+    pub(crate) fleet: RobotFleet,
+    pub(crate) injector: FaultInjector,
+    pub(crate) links_rt: Vec<LinkRt>,
+    pub(crate) active: BTreeMap<TicketId, ActiveRepair>,
+    pub(crate) forced_action: BTreeMap<TicketId, RepairAction>,
+    pub(crate) avail: FleetAvailability,
+    pub(crate) costs: CostLedger,
+    pub(crate) zones: ZoneLedger,
+    pub(crate) service_pairs: Vec<(NodeId, NodeId)>,
     // RNG streams.
-    hazard: Stream,
-    causes: Stream,
-    outcomes: Stream,
-    ops: Stream,
+    pub(crate) hazard: Stream,
+    pub(crate) causes: Stream,
+    pub(crate) outcomes: Stream,
+    pub(crate) ops: Stream,
     /// Maintenance-plane fault draws (robot hazards, dropout, message
     /// loss). A fresh stream so enabling faults never perturbs the
     /// draws of the pre-existing processes.
-    faults_rng: Stream,
+    pub(crate) faults_rng: Stream,
     /// Recovery-side draws (backoff jitter).
-    recovery_rng: Stream,
+    pub(crate) recovery_rng: Stream,
     // Recovery plumbing.
-    attempt_seq: u64,
-    recovery_state: BTreeMap<TicketId, RecoveryState>,
-    exclude_unit: BTreeMap<TicketId, usize>,
-    forced_human: std::collections::BTreeSet<TicketId>,
-    recovery_queue: Vec<TicketId>,
+    pub(crate) attempt_seq: u64,
+    pub(crate) recovery_state: BTreeMap<TicketId, RecoveryState>,
+    pub(crate) exclude_unit: BTreeMap<TicketId, usize>,
+    pub(crate) forced_human: std::collections::BTreeSet<TicketId>,
+    pub(crate) recovery_queue: Vec<TicketId>,
     // Report counters.
-    incidents: u64,
-    cascade_incidents: u64,
-    cascade_bursts: u64,
-    cascade_bursts_live: u64,
-    burst_impact_loss_s: f64,
-    tickets_by_trigger: BTreeMap<&'static str, u64>,
-    actions: BTreeMap<RepairAction, ActionStats>,
-    tech_time: SimDuration,
-    human_escalations: u64,
-    campaigns: u64,
-    campaign_links: u64,
-    prediction: maintctl::PredictionStats,
-    drains_deferred: u64,
-    drain_capacity_impact: f64,
-    campaign_drain_impact: f64,
-    trough_deferred: std::collections::BTreeSet<TicketId>,
-    attempts_per_fix: Vec<u32>,
-    fixed_attempts_by_ticket: BTreeMap<TicketId, bool>,
-    defer_counts: BTreeMap<TicketId, u32>,
+    pub(crate) incidents: u64,
+    pub(crate) cascade_incidents: u64,
+    pub(crate) cascade_bursts: u64,
+    pub(crate) cascade_bursts_live: u64,
+    pub(crate) burst_impact_loss_s: f64,
+    pub(crate) tickets_by_trigger: BTreeMap<&'static str, u64>,
+    pub(crate) actions: BTreeMap<RepairAction, ActionStats>,
+    pub(crate) tech_time: SimDuration,
+    pub(crate) human_escalations: u64,
+    pub(crate) campaigns: u64,
+    pub(crate) campaign_links: u64,
+    pub(crate) prediction: maintctl::PredictionStats,
+    pub(crate) drains_deferred: u64,
+    pub(crate) drain_capacity_impact: f64,
+    pub(crate) campaign_drain_impact: f64,
+    pub(crate) trough_deferred: std::collections::BTreeSet<TicketId>,
+    pub(crate) attempts_per_fix: Vec<u32>,
+    pub(crate) fixed_attempts_by_ticket: BTreeMap<TicketId, bool>,
+    pub(crate) defer_counts: BTreeMap<TicketId, u32>,
     // Robustness counters (all zero with faults disabled).
-    op_stalls: u64,
-    op_aborts_safe: u64,
-    op_aborts_unsafe: u64,
-    watchdog_fires: u64,
-    robot_retries: u64,
-    robot_reassigns: u64,
-    robot_recoveries: u64,
-    telemetry_dropouts: u64,
-    dispatch_msgs_lost: u64,
-    ports_flagged: u64,
-    recovery_queued: u64,
+    pub(crate) op_stalls: u64,
+    pub(crate) op_aborts_safe: u64,
+    pub(crate) op_aborts_unsafe: u64,
+    pub(crate) watchdog_fires: u64,
+    pub(crate) robot_retries: u64,
+    pub(crate) robot_reassigns: u64,
+    pub(crate) robot_recoveries: u64,
+    pub(crate) telemetry_dropouts: u64,
+    pub(crate) dispatch_msgs_lost: u64,
+    pub(crate) ports_flagged: u64,
+    pub(crate) recovery_queued: u64,
     // Observability plane (all inert when cfg.obs is disabled).
-    journal: Journal,
-    registry: ObsRegistry,
-    traces: TraceStore,
-    wall: WallProfile,
+    pub(crate) journal: Journal,
+    pub(crate) registry: ObsRegistry,
+    pub(crate) traces: TraceStore,
+    pub(crate) wall: WallProfile,
+    // Owned event queue — part of the engine so checkpoints capture
+    // pending events alongside the state they will act on.
+    pub(crate) sched: Scheduler<Ev>,
 }
 
 /// Run a scenario to completion and produce its report.
 pub fn run(cfg: ScenarioConfig) -> RunReport {
+    Engine::new(cfg).execute()
+}
+
+/// Construct a ready-to-run engine: full component construction plus the
+/// initial recurring-process events. Extracted from [`run`] so that
+/// checkpoint restore can rebuild an identical engine before overlaying
+/// snapshotted state.
+fn build_engine(cfg: ScenarioConfig) -> Engine {
     let rng = SimRng::root(cfg.seed);
     let topo = cfg.topology.build(cfg.diversity, &rng);
     let state = NetState::new(&topo);
@@ -343,7 +354,9 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         }
     }
 
-    let eng = Engine {
+    let horizon = SimTime::ZERO + cfg.duration;
+    let mut eng = Engine {
+        sched: Scheduler::with_horizon(horizon),
         hazard: rng.stream("hazard", 0),
         causes: rng.stream("engine-causes", 0),
         outcomes: rng.stream("engine-outcomes", 0),
@@ -418,38 +431,62 @@ pub fn run(cfg: ScenarioConfig) -> RunReport {
         ports_flagged: 0,
         recovery_queued: 0,
     };
-    eng.execute()
+    // Seed the recurring processes.
+    if eng.cfg.organic_faults {
+        let stress = eng.cfg.environment.stress_factor(SimTime::ZERO, 0);
+        let first = eng
+            .injector
+            .arrival_delay(eng.topo.link_count() as f64, stress);
+        eng.sched.schedule_in(first, Ev::Fault);
+    }
+    for inc in eng.cfg.scripted.clone() {
+        if inc.link_index < eng.topo.link_count() {
+            eng.sched.schedule(
+                inc.at,
+                Ev::Scripted {
+                    link: LinkId::from_index(inc.link_index),
+                    cause: inc.cause,
+                },
+            );
+        }
+    }
+    eng.sched.schedule_in(eng.cfg.poll_period, Ev::Poll);
+    eng.sched
+        .schedule_in(SimDuration::from_hours(1), Ev::ProactiveScan);
+    if let Some(pc) = eng.controller.predictive_config() {
+        let period = pc.scan_period;
+        eng.sched.schedule_in(period, Ev::PredictiveScan);
+    }
+    eng
 }
 
 impl Engine {
-    fn execute(mut self) -> RunReport {
-        let horizon = SimTime::ZERO + self.cfg.duration;
-        let mut sched: Scheduler<Ev> = Scheduler::with_horizon(horizon);
-        // Seed the recurring processes.
-        if self.cfg.organic_faults {
-            let stress = self.cfg.environment.stress_factor(SimTime::ZERO, 0);
-            let first = self
-                .injector
-                .arrival_delay(self.topo.link_count() as f64, stress);
-            sched.schedule_in(first, Ev::Fault);
-        }
-        for inc in self.cfg.scripted.clone() {
-            if inc.link_index < self.topo.link_count() {
-                sched.schedule(
-                    inc.at,
-                    Ev::Scripted {
-                        link: LinkId::from_index(inc.link_index),
-                        cause: inc.cause,
-                    },
-                );
-            }
-        }
-        sched.schedule_in(self.cfg.poll_period, Ev::Poll);
-        sched.schedule_in(SimDuration::from_hours(1), Ev::ProactiveScan);
-        if let Some(pc) = self.controller.predictive_config() {
-            sched.schedule_in(pc.scan_period, Ev::PredictiveScan);
-        }
-        while let Some(Fired { at, payload, .. }) = sched.pop() {
+    /// A ready-to-run engine for `cfg`, with the initial events seeded.
+    pub fn new(cfg: ScenarioConfig) -> Engine {
+        build_engine(cfg)
+    }
+
+    /// The scheduler clock: timestamp of the last dispatched event (or
+    /// the horizon once drained). Lets checkpoint drivers resume their
+    /// interval arithmetic after [`Engine::restore`].
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Drive the engine to completion and produce the report.
+    pub fn execute(mut self) -> RunReport {
+        while self.step_event().is_some() {}
+        self.finish_report()
+    }
+
+    /// Dispatch the next pending event, returning its timestamp and
+    /// kind. `None` once the queue is drained — the scheduler clamps its
+    /// clock to the horizon on that final pop.
+    pub fn step_event(&mut self) -> Option<(SimTime, &'static str)> {
+        // Temporarily take the queue so handlers can schedule into it
+        // while borrowing the rest of the engine mutably.
+        let mut sched = std::mem::replace(&mut self.sched, Scheduler::with_horizon(SimTime::ZERO));
+        let out = if let Some(Fired { at, payload, .. }) = sched.pop() {
             // Stamp the journal clock once per dispatch; emitters never
             // thread `now` through their signatures.
             self.journal.set_now(at);
@@ -457,7 +494,38 @@ impl Engine {
             let t0 = self.wall.start();
             self.handle(payload, at, &mut sched);
             self.wall.record(kind, t0);
+            Some((at, kind))
+        } else {
+            None
+        };
+        self.sched = sched;
+        out
+    }
+
+    /// Advance until the scheduler clock reaches `t`: dispatch every
+    /// event with timestamp ≤ `t`, leaving later events pending. If the
+    /// queue drains and `t` is at or past the horizon, the final pop
+    /// clamps the clock to the horizon exactly as a full run would.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            match self.sched.peek_time() {
+                Some(at) if at <= t => {
+                    self.step_event();
+                }
+                Some(_) => break,
+                None => {
+                    if t >= self.sched.horizon() {
+                        self.step_event();
+                    }
+                    break;
+                }
+            }
         }
+    }
+
+    /// Summarize and package the report for a drained engine.
+    pub fn finish_report(self) -> RunReport {
+        let horizon = SimTime::ZERO + self.cfg.duration;
         self.finish(horizon)
     }
 
@@ -578,7 +646,22 @@ impl Engine {
         let hazard_sum: f64 = weights.iter().sum();
         let delay = self.injector.arrival_delay(hazard_sum, stress);
         sched.schedule_in(delay, Ev::Fault);
-        let l = LinkId::from_index(self.hazard.weighted_index(&weights));
+        let mut target = self.hazard.weighted_index(&weights);
+        if self.cfg.nondet_demo && weights.len() >= 2 {
+            // Deliberate nondeterminism for the `selfmaint bisect` demo:
+            // pass the weights through a HashMap and let its per-instance
+            // iteration order shift which link the fault lands on. The
+            // hazard sum and every RNG draw count are unchanged — only
+            // the fault's target moves, which is exactly the class of
+            // bug the bisector exists to localize.
+            // lint:allow(hash-iteration): intentional nondeterminism, gated behind cfg.nondet_demo
+            let map: std::collections::HashMap<usize, f64> =
+                weights.iter().copied().enumerate().collect();
+            if let Some((&first, _)) = map.iter().next() {
+                target = (target + 1 + first % (weights.len() - 1)) % weights.len();
+            }
+        }
+        let l = LinkId::from_index(target);
         if self.links_rt[l.index()].incident.is_some() {
             return; // already broken; new fault is masked
         }

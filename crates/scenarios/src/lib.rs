@@ -9,17 +9,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod cli;
 pub mod config;
 pub mod engine;
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 pub mod sweep;
 pub mod writer;
 
 pub use config::{ScenarioConfig, ScriptedIncident, TopologySpec};
-pub use engine::run;
+pub use engine::{run, Engine};
 pub use report::{ActionStats, RunReport, SweepMetrics};
+pub use snapshot::config_fingerprint;
 pub use sweep::{
     failures_table, is_experiment, run_engine_sweep, run_experiment_sweep, EngineSweepOutcome,
     EngineSweepParams, ExperimentSweep, SweepFailure, EXPERIMENTS,

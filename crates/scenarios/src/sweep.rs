@@ -24,7 +24,7 @@
 use dcmaint_des::SimDuration;
 use dcmaint_metrics::{fnum, mean_ci95, nines, Align, Table};
 use dcmaint_obs::{ObsConfig, ObsRegistry};
-use dcmaint_sweep::{aggregate_tables, derive_seed, run_jobs};
+use dcmaint_sweep::{aggregate_tables, derive_seed, run_jobs, JobResult};
 use maintctl::AutomationLevel;
 
 use crate::config::{ScenarioConfig, TopologySpec};
@@ -253,6 +253,14 @@ pub struct EngineSweepParams {
     /// Test hook: make plan job #i panic instead of running, to
     /// demonstrate (and test) panic containment end to end.
     pub inject_panic: Option<usize>,
+    /// Directory for per-job checkpoint files (`job-NNNN.bin`). Each
+    /// completed job persists its result here, so a killed sweep can be
+    /// resumed without redoing finished work.
+    pub manifest: Option<String>,
+    /// Resume from `manifest`: jobs whose checkpoint file loads (and
+    /// matches the job's configuration fingerprint) are taken from disk;
+    /// only the rest run.
+    pub resume: bool,
 }
 
 impl EngineSweepParams {
@@ -267,6 +275,8 @@ impl EngineSweepParams {
             small_fabric: false,
             obs: false,
             inject_panic: None,
+            manifest: None,
+            resume: false,
         }
     }
 }
@@ -276,6 +286,69 @@ struct EngineJobOut {
     metrics: SweepMetrics,
     journal: Vec<String>,
     registry: ObsRegistry,
+}
+
+/// Path of one job's checkpoint file inside a manifest directory.
+fn job_path(dir: &str, index: usize) -> std::path::PathBuf {
+    std::path::Path::new(dir).join(format!("job-{index:04}.bin"))
+}
+
+/// Persist one finished job under the manifest. Written via temp file +
+/// rename so a kill mid-write leaves no half-file; the checkpoint
+/// container's integrity hash catches anything that slips through.
+fn save_job(path: &std::path::Path, config_fp: u64, out: &EngineJobOut) {
+    let mut enc = dcmaint_ckpt::Enc::new();
+    enc.u64(out.metrics.median_window.as_micros());
+    enc.u64(out.metrics.p95_window.as_micros());
+    enc.f64(out.metrics.availability);
+    enc.u64(out.metrics.tickets_fixed);
+    enc.u64(out.metrics.tech_time.as_micros());
+    enc.f64(out.metrics.cost);
+    enc.usize(out.journal.len());
+    for line in &out.journal {
+        enc.str(line);
+    }
+    out.registry.save(&mut enc);
+    let bytes = dcmaint_ckpt::Snapshot::new(config_fp, enc.into_bytes()).to_bytes();
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, &bytes).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Load one job checkpoint, verifying integrity and that it was produced
+/// by exactly this job configuration. Any failure means "not done".
+fn load_job(path: &std::path::Path, config_fp: u64) -> Option<EngineJobOut> {
+    let bytes = std::fs::read(path).ok()?;
+    let snap = dcmaint_ckpt::Snapshot::from_bytes(&bytes).ok()?;
+    snap.require_config(config_fp).ok()?;
+    let mut dec = dcmaint_ckpt::Dec::new(&snap.payload);
+    let decode = |dec: &mut dcmaint_ckpt::Dec| -> Result<EngineJobOut, dcmaint_ckpt::CkptError> {
+        let metrics = SweepMetrics {
+            median_window: SimDuration::from_micros(dec.u64()?),
+            p95_window: SimDuration::from_micros(dec.u64()?),
+            availability: dec.f64()?,
+            tickets_fixed: dec.u64()?,
+            tech_time: SimDuration::from_micros(dec.u64()?),
+            cost: dec.f64()?,
+        };
+        let n = dec.usize()?;
+        let mut journal = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            journal.push(dec.str()?);
+        }
+        let registry = ObsRegistry::load(dec)?;
+        Ok(EngineJobOut {
+            metrics,
+            journal,
+            registry,
+        })
+    };
+    let out = decode(&mut dec).ok()?;
+    if !dec.is_exhausted() {
+        return None;
+    }
+    Some(out)
 }
 
 /// Result of [`run_engine_sweep`].
@@ -331,12 +404,29 @@ fn num_cell(values: &[f64], digits: usize) -> String {
 /// registries, journals — in canonical plan order.
 pub fn run_engine_sweep(p: &EngineSweepParams) -> EngineSweepOutcome {
     let seeds = p.seeds.max(1);
+    if let Some(dir) = &p.manifest {
+        std::fs::create_dir_all(dir).expect("create sweep manifest directory");
+    }
+    // Lay out the full plan, then split it into jobs already completed
+    // under the manifest (loaded from disk) and jobs that must run.
+    let mut merged: Vec<Option<JobResult<EngineJobOut>>> = Vec::new();
     let mut plan: Vec<Box<dyn FnOnce() -> EngineJobOut + Send>> = Vec::new();
+    let mut plan_slots: Vec<usize> = Vec::new();
     for &level in &p.levels {
         for k in 0..seeds {
             let seed = derive_seed(p.base_seed, level.label(), k);
             let cfg = engine_config(p, level, seed);
-            let index = plan.len();
+            let config_fp = crate::snapshot::config_fingerprint(&cfg);
+            let index = merged.len();
+            let path = p.manifest.as_deref().map(|d| job_path(d, index));
+            if p.resume {
+                if let Some(out) = path.as_deref().and_then(|pp| load_job(pp, config_fp)) {
+                    merged.push(Some(Ok(out)));
+                    continue;
+                }
+            }
+            merged.push(None);
+            plan_slots.push(index);
             let boom = p.inject_panic == Some(index);
             plan.push(Box::new(move || {
                 if boom {
@@ -348,15 +438,25 @@ pub fn run_engine_sweep(p: &EngineSweepParams) -> EngineSweepOutcome {
                     Some(obs) => (obs.journal, obs.registry),
                     None => (Vec::new(), ObsRegistry::disabled()),
                 };
-                EngineJobOut {
+                let out = EngineJobOut {
                     metrics,
                     journal,
                     registry,
+                };
+                if let Some(path) = &path {
+                    save_job(path, config_fp, &out);
                 }
+                out
             }));
         }
     }
-    let results = run_jobs(plan, p.jobs);
+    for (slot, r) in plan_slots.into_iter().zip(run_jobs(plan, p.jobs)) {
+        merged[slot] = Some(r);
+    }
+    let results: Vec<JobResult<EngineJobOut>> = merged
+        .into_iter()
+        .map(|r| r.expect("every plan slot resolved"))
+        .collect();
 
     let mut table = Table::new(
         &format!(
@@ -493,7 +593,49 @@ mod tests {
             small_fabric: true,
             obs: false,
             inject_panic: None,
+            manifest: None,
+            resume: false,
         }
+    }
+
+    #[test]
+    fn killed_sweep_resumes_from_manifest_byte_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("dcmaint-sweep-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut p = quick_params(2, 2);
+        p.obs = true;
+        // Uninterrupted reference run (no manifest involved).
+        let reference = run_engine_sweep(&p);
+
+        // First attempt: job #1 panics (stand-in for a killed sweep);
+        // the other three complete and persist under the manifest.
+        let mut broken = p.clone();
+        broken.manifest = Some(dir.to_string_lossy().into_owned());
+        broken.inject_panic = Some(1);
+        let partial = run_engine_sweep(&broken);
+        assert_eq!(partial.failures.len(), 1);
+        assert!(job_path(broken.manifest.as_deref().unwrap(), 0).exists());
+        assert!(!job_path(broken.manifest.as_deref().unwrap(), 1).exists());
+
+        // Resume: only the missing job runs; merged output must be
+        // byte-identical to the uninterrupted run.
+        let mut resumed = broken.clone();
+        resumed.inject_panic = None;
+        resumed.resume = true;
+        let out = run_engine_sweep(&resumed);
+        assert!(out.failures.is_empty());
+        assert_eq!(outcome_fingerprint(&reference), outcome_fingerprint(&out));
+        assert_eq!(reference.table.render(), out.table.render());
+        assert_eq!(
+            reference.journal, out.journal,
+            "merged journal must be byte-identical"
+        );
+        assert_eq!(
+            reference.registry.as_ref().unwrap().snapshot_lines(),
+            out.registry.as_ref().unwrap().snapshot_lines()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -66,6 +66,37 @@ impl TelemetryPlane {
         self.detectors[l.index()].rearm();
     }
 
+    /// Append the whole plane's state to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.u64(self.poll_period.as_micros());
+        enc.usize(self.counters.len());
+        for c in &self.counters {
+            c.save(enc);
+        }
+        for d in &self.detectors {
+            d.save(enc);
+        }
+    }
+
+    /// Inverse of [`TelemetryPlane::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        let poll_period = SimDuration::from_micros(dec.u64()?);
+        let n = dec.usize()?;
+        let mut counters = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            counters.push(LinkCounters::load(dec)?);
+        }
+        let mut detectors = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            detectors.push(Detector::load(dec)?);
+        }
+        Ok(TelemetryPlane {
+            counters,
+            detectors,
+            poll_period,
+        })
+    }
+
     /// Poll every link once: record loss samples from the live state and
     /// evaluate detectors. Returns alerts raised this tick.
     pub fn sample(&mut self, topo: &Topology, state: &NetState, now: SimTime) -> Vec<Alert> {

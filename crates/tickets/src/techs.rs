@@ -173,6 +173,30 @@ impl TechnicianPool {
         Assignment { tech, start }
     }
 
+    /// Append the pool's mutable state (reservations and RNG stream
+    /// positions) to a checkpoint. Configuration is not recorded — the
+    /// restoring side rebuilds the pool from the same `TechConfig`.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.usize(self.busy_until.len());
+        for t in &self.busy_until {
+            enc.u64(t.as_micros());
+        }
+        enc.u64(self.triage.draws());
+        enc.u64(self.tasks.draws());
+    }
+
+    /// Restore checkpointed state into a freshly constructed pool.
+    /// Inverse of [`TechnicianPool::save`].
+    pub fn restore(&mut self, dec: &mut dcmaint_ckpt::Dec) -> Result<(), dcmaint_ckpt::CkptError> {
+        let n = dec.usize()?;
+        self.busy_until = (0..n)
+            .map(|_| Ok(SimTime::from_micros(dec.u64()?)))
+            .collect::<Result<_, dcmaint_ckpt::CkptError>>()?;
+        self.triage.fast_forward_to(dec.u64()?);
+        self.tasks.fast_forward_to(dec.u64()?);
+        Ok(())
+    }
+
     fn align_to_shift(&self, tech: usize, t: SimTime) -> SimTime {
         let h = t.time_of_day().as_hours_f64();
         let on_day_shift = (DAY_START_H as f64..DAY_END_H as f64).contains(&h);

@@ -3,6 +3,11 @@
 //! ```text
 //! selfmaint run   [--level L3] [--days 30] [--seed 42] [--topology leaf-spine|fat-tree|jellyfish|xpander]
 //!                 [--robots-per-row 1] [--vendors 12] [--no-proactive] [--no-predictive] [--csv] [--json]
+//!                 [--checkpoint-every D] [--checkpoint-dir DIR] [--resume FILE]
+//!                 # --checkpoint-every writes a versioned snapshot of the
+//!                 # full engine state every D simulated days; --resume
+//!                 # restores one and continues — output is byte-identical
+//!                 # to the uninterrupted run
 //! selfmaint advise --mtbf-days 60 --mttr-mins 10 --need 8 --target 0.9999
 //! selfmaint topo   [--seed 42]          # self-maintainability report
 //! selfmaint levels                      # print the automation taxonomy
@@ -17,11 +22,24 @@
 //! selfmaint sweep  [--seeds 8] [--jobs 1] [--days 14] [--seed 42]
 //!                  [--level L3|all] [--quick] [--csv] [--obs]
 //!                  [--journal PATH] [--bench-sweep] [--inject-panic I]
+//!                  [--manifest DIR] [--resume]
 //!                  # seed-replicated level sweep on the work-stealing
 //!                  # pool: mean ±95% CI columns, merged observability,
 //!                  # byte-identical stdout for any --jobs value; wall
 //!                  # scaling to BENCH_sweep.json (--bench-sweep, off
-//!                  # stdout like --bench-obs)
+//!                  # stdout like --bench-obs). --manifest checkpoints
+//!                  # every finished job to DIR; --resume skips jobs
+//!                  # already present there and the merged output stays
+//!                  # byte-identical to an uninterrupted sweep
+//! selfmaint bisect [--level L3] [--days 12] [--seed 42] [--seed-b S]
+//!                  [--interval-days 2] [--quick] [--out PATH]
+//!                  # divergence bisector: advance two runs checkpoint by
+//!                  # checkpoint, bracket the first interval where their
+//!                  # state hashes split, then replay it event-by-event
+//!                  # to pin the first divergent event. By default run B
+//!                  # is run A plus the nondet-demo fault injection;
+//!                  # --seed-b compares two seeds instead. Exits 1 when
+//!                  # a divergence is found
 //! selfmaint lint   [--root DIR] [--baseline PATH] [--json]
 //!                  [--write-baseline] [--list-rules]
 //!                  # dcmaint-lint determinism & hygiene pass: exits
@@ -37,32 +55,89 @@
 
 #![forbid(unsafe_code)]
 
+use selfmaint::ckpt::Snapshot;
 use selfmaint::control::{advise, ControllerConfig};
 use selfmaint::metrics::{fnum, nines, Align, Table};
 use selfmaint::prelude::*;
+use selfmaint::scenarios::bisect::bisect;
 use selfmaint::scenarios::cli::{flag, opt, parse_opt_maybe_or_exit, parse_opt_or_exit};
 use selfmaint::scenarios::sweep::{failures_table, run_engine_sweep, EngineSweepParams};
+use selfmaint::scenarios::Engine;
+
+/// One dispatchable subcommand: name, one-line description, handler.
+type Subcommand = (&'static str, &'static str, fn(&[String]));
+
+/// The full subcommand surface. Both the dispatcher and the usage text
+/// derive from this table, so the two can never drift apart
+/// (`subcommand_table_drives_everything` pins the invariant).
+const SUBCOMMANDS: &[Subcommand] = &[
+    (
+        "run",
+        "one scenario run; --json/--csv, --checkpoint-every, --resume",
+        cmd_run,
+    ),
+    (
+        "advise",
+        "spares provisioning advisor (Markov availability model)",
+        cmd_advise,
+    ),
+    (
+        "topo",
+        "self-maintainability report across the four topologies",
+        cmd_topo,
+    ),
+    ("levels", "print the automation-level taxonomy", cmd_levels),
+    (
+        "trace",
+        "run with the observability plane: spans, journal, profiling",
+        cmd_trace,
+    ),
+    (
+        "sweep",
+        "seed-replicated level sweep on the worker pool; resumable",
+        cmd_sweep,
+    ),
+    (
+        "bisect",
+        "localize where two runs first diverge, down to the event",
+        cmd_bisect,
+    ),
+    (
+        "lint",
+        "determinism & hygiene static analysis (the CI gate)",
+        cmd_lint,
+    ),
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage: selfmaint <command> [options]\n\ncommands:\n");
+    for (name, desc, _) in SUBCOMMANDS {
+        s.push_str(&format!("  {name:<8}{desc}\n"));
+    }
+    s.push_str(
+        "\ntry: selfmaint run --level L3 --days 30\n\
+         or:  selfmaint bisect --quick\n\
+         or:  selfmaint sweep --seeds 8 --jobs 4\n",
+    );
+    s
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("advise") => cmd_advise(&args[1..]),
-        Some("topo") => cmd_topo(&args[1..]),
-        Some("levels") => cmd_levels(),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
-        Some("lint") => std::process::exit(dcmaint_lint::run_cli(&args[1..])),
-        _ => {
-            eprintln!(
-                "usage: selfmaint <run|advise|topo|levels|trace|sweep|lint> [options]\n\
-                 try: selfmaint run --level L3 --days 30\n\
-                 or:  selfmaint trace --days 14 --incident 0\n\
-                 or:  selfmaint sweep --seeds 8 --jobs 4"
-            );
+    let hit = args
+        .first()
+        .and_then(|name| SUBCOMMANDS.iter().find(|(n, _, _)| n == name));
+    match hit {
+        Some((_, _, handler)) => handler(&args[1..]),
+        None => {
+            eprint!("{}", usage());
             std::process::exit(2);
         }
     }
+}
+
+fn cmd_lint(args: &[String]) {
+    std::process::exit(dcmaint_lint::run_cli(args));
 }
 
 fn parse_level(s: &str) -> AutomationLevel {
@@ -124,11 +199,19 @@ fn cmd_run(args: &[String]) {
         cfg.controller = Some(ctl);
     }
 
+    let ckpt_every: Option<u64> = parse_opt_maybe_or_exit(args, "--checkpoint-every");
+    let ckpt_dir = opt(args, "--checkpoint-dir").unwrap_or(".").to_string();
+    let resume = opt(args, "--resume").map(str::to_string);
+
     eprintln!(
         "running {days} simulated days at {} (seed {seed})…",
         level.label()
     );
-    let mut report = selfmaint::scenarios::run(cfg);
+    let mut report = if ckpt_every.is_none() && resume.is_none() {
+        selfmaint::scenarios::run(cfg)
+    } else {
+        run_with_checkpoints(cfg, ckpt_every, &ckpt_dir, resume.as_deref())
+    };
     if flag(args, "--json") {
         println!(
             "{}",
@@ -187,6 +270,63 @@ fn cmd_run(args: &[String]) {
     } else {
         print!("{}", t.render());
     }
+}
+
+/// `run` with the checkpoint/restore machinery engaged: restore from a
+/// snapshot file (`--resume`) and/or write one every `--checkpoint-every`
+/// days. The event sequence is the continuous run's — checkpoints are
+/// cut at `run_until` boundaries that the uninterrupted engine also
+/// passes through — so the report and stdout stay byte-identical.
+fn run_with_checkpoints(
+    cfg: ScenarioConfig,
+    every_days: Option<u64>,
+    dir: &str,
+    resume: Option<&str>,
+) -> RunReport {
+    let end = SimTime::ZERO + cfg.duration;
+    let mut eng = match resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            let snap = Snapshot::from_bytes(&bytes).unwrap_or_else(|e| {
+                eprintln!("corrupt checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            let eng = Engine::restore(cfg, &snap).unwrap_or_else(|e| {
+                eprintln!("checkpoint {path} does not match this configuration: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "resumed from {path} at day {:.2} (state {})",
+                eng.now().as_micros() as f64 / 86_400e6,
+                eng.state_hash()
+            );
+            eng
+        }
+        None => Engine::new(cfg),
+    };
+    if let Some(days) = every_days {
+        if days == 0 {
+            eprintln!("--checkpoint-every must be at least 1");
+            std::process::exit(2);
+        }
+        let step = SimDuration::from_days(days);
+        let mut t = eng.now();
+        while t < end {
+            t = (t + step).min(end);
+            eng.run_until(t);
+            let path = format!("{dir}/ckpt-day-{:04}.bin", t.as_micros() / 86_400_000_000);
+            std::fs::write(&path, eng.snapshot().to_bytes()).unwrap_or_else(|e| {
+                eprintln!("cannot write checkpoint {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("checkpoint written: {path} (state {})", eng.state_hash());
+        }
+    }
+    while eng.step_event().is_some() {}
+    eng.finish_report()
 }
 
 fn cmd_advise(args: &[String]) {
@@ -345,12 +485,18 @@ fn cmd_sweep(args: &[String]) {
     let journal_path = opt(args, "--journal").map(str::to_string);
     let obs = flag(args, "--obs") || journal_path.is_some();
     let inject_panic: Option<usize> = parse_opt_maybe_or_exit(args, "--inject-panic");
+    let manifest = opt(args, "--manifest").map(str::to_string);
+    let resume = flag(args, "--resume");
     let levels = match opt(args, "--level") {
         None | Some("all") => AutomationLevel::ALL.to_vec(),
         Some(s) => vec![parse_level(s)],
     };
     if seeds == 0 {
         eprintln!("--seeds must be at least 1");
+        std::process::exit(2);
+    }
+    if resume && manifest.is_none() {
+        eprintln!("--resume requires --manifest DIR (the checkpoints to resume from)");
         std::process::exit(2);
     }
 
@@ -363,6 +509,8 @@ fn cmd_sweep(args: &[String]) {
         small_fabric: quick,
         obs,
         inject_panic,
+        manifest,
+        resume,
     };
     eprintln!(
         "sweeping {} level(s) × {} seed(s) on {} worker(s), {} simulated days each…",
@@ -464,7 +612,72 @@ fn bench_sweep(p: &EngineSweepParams) {
     }
 }
 
-fn cmd_levels() {
+fn cmd_bisect(args: &[String]) {
+    let level = parse_level(opt(args, "--level").unwrap_or("L3"));
+    let days: u64 = parse_opt_or_exit(args, "--days", 12);
+    let seed: u64 = parse_opt_or_exit(args, "--seed", 42);
+    let seed_b: Option<u64> = parse_opt_maybe_or_exit(args, "--seed-b");
+    let interval_days: u64 = parse_opt_or_exit(args, "--interval-days", 2);
+    let quick = flag(args, "--quick");
+    let out_path = opt(args, "--out").map(str::to_string);
+    if interval_days == 0 {
+        eprintln!("--interval-days must be at least 1");
+        std::process::exit(2);
+    }
+
+    let build = |seed: u64| {
+        let mut cfg = ScenarioConfig::at_level(seed, level);
+        cfg.duration = SimDuration::from_days(days);
+        if quick {
+            cfg.topology = TopologySpec::LeafSpine {
+                spines: 2,
+                leaves: 4,
+                servers_per_leaf: 2,
+            };
+            cfg.poll_period = SimDuration::from_secs(120);
+            cfg.faults.mtbi_per_link = SimDuration::from_days(15);
+        }
+        cfg
+    };
+    let cfg_a = build(seed);
+    let mut cfg_b = build(seed_b.unwrap_or(seed));
+    match seed_b {
+        Some(s) => eprintln!(
+            "bisecting seed {seed} against seed {s} over {days} days \
+             ({interval_days}-day checkpoints)…"
+        ),
+        None => {
+            // The demo mode: run B is run A plus the deliberately
+            // nondeterministic fault targeting, so the bisector has a
+            // genuine HashMap-iteration bug to localize.
+            cfg_b.nondet_demo = true;
+            eprintln!(
+                "bisecting a clean run against its nondet-demo twin over \
+                 {days} days ({interval_days}-day checkpoints)…"
+            );
+        }
+    }
+
+    let report = bisect(cfg_a, cfg_b, SimDuration::from_days(interval_days)).unwrap_or_else(|e| {
+        eprintln!("bisect failed: {e}");
+        std::process::exit(1);
+    });
+    let mut body = report.lines().join("\n");
+    body.push('\n');
+    print!("{body}");
+    if let Some(path) = &out_path {
+        std::fs::write(path, &body).unwrap_or_else(|e| {
+            eprintln!("cannot write report to {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("divergence report written to {path}");
+    }
+    if report.diverged() {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_levels(_args: &[String]) {
     for l in AutomationLevel::ALL {
         println!(
             "{}  {:<20}  proactive: {:<3}  supervisor: {:<3}  humans in halls: {}",
@@ -478,5 +691,50 @@ fn cmd_levels() {
                 "no"
             },
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The SUBCOMMANDS table is the single source of truth: the
+    /// dispatcher matches against it and the usage text is generated
+    /// from it. This pins the documented surface, forbids duplicates,
+    /// and checks the generated usage really lists every entry — add a
+    /// command to the table and this test names the places to update.
+    #[test]
+    fn subcommand_table_drives_everything() {
+        let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["run", "advise", "topo", "levels", "trace", "sweep", "bisect", "lint"],
+            "subcommand surface changed — update this test and the crate docs"
+        );
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate subcommand name");
+
+        let u = usage();
+        for (name, desc, _) in SUBCOMMANDS {
+            assert!(!desc.is_empty(), "{name} has no description");
+            assert!(u.contains(name), "usage text does not list {name}");
+            assert!(u.contains(desc), "usage text lost {name}'s description");
+        }
+    }
+
+    /// Every subcommand the doc comment documents is dispatchable, so
+    /// the long-form help at the top of this file cannot advertise a
+    /// command the binary rejects.
+    #[test]
+    fn doc_comment_matches_the_table() {
+        let doc = include_str!("selfmaint.rs");
+        for (name, _, _) in SUBCOMMANDS {
+            assert!(
+                doc.contains(&format!("selfmaint {name}")),
+                "doc comment does not document `selfmaint {name}`"
+            );
+        }
     }
 }

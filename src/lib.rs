@@ -37,6 +37,7 @@
 //! | [`robotics`] | `dcmaint-robotics` | robot ops, vision, fleet |
 //! | [`control`] | `maintctl` | **the paper's contribution**: levels, escalation, drains, proactive, predictive, provisioning |
 //! | [`obs`] | `dcmaint-obs` | incident span traces, event journal, counters/histograms |
+//! | [`ckpt`] | `dcmaint-ckpt` | versioned snapshot codec, state hashing, byte-deterministic checkpoints |
 //! | [`topomaint`] | `dcmaint-topomaint` | self-maintainability metric |
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
 //! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
@@ -56,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dcmaint_ckpt as ckpt;
 pub use dcmaint_dcnet as net;
 pub use dcmaint_des as des;
 pub use dcmaint_faults as faults;

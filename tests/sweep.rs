@@ -17,6 +17,8 @@ fn tiny(seeds: u64, jobs: usize, obs: bool) -> EngineSweepParams {
         small_fabric: true,
         obs,
         inject_panic: None,
+        manifest: None,
+        resume: false,
     }
 }
 

@@ -370,6 +370,56 @@ impl Snapshot {
     }
 }
 
+/// Periodic snapshot cadence: the sequence of cut points a worker
+/// checkpoints at, as an iterator over microsecond timestamps.
+///
+/// `Cadence::new(start, end, every)` yields `start + every`,
+/// `start + 2·every`, … clamped to `end`, and always ends exactly at
+/// `end` (so the final segment is never skipped, even when it is
+/// shorter than `every`). The sequence is *position-independent*: a
+/// worker that restored a snapshot taken at cut `k` and asks for
+/// `Cadence::new(k·every, end, every)` walks the identical remaining
+/// cut points the uninterrupted run would have — which is what makes
+/// restart-from-last-checkpoint byte-identical for `selfmaint serve`.
+///
+/// Units are deliberately plain `u64` (microseconds in practice): this
+/// crate knows nothing about simulated time, only about snapshots and
+/// when to cut them.
+#[derive(Debug, Clone)]
+pub struct Cadence {
+    at: u64,
+    end: u64,
+    every: u64,
+}
+
+impl Cadence {
+    /// Cut points after `start` up to and including `end`, spaced
+    /// `every` apart (`every == 0` yields a single cut at `end`).
+    pub fn new(start: u64, end: u64, every: u64) -> Cadence {
+        Cadence {
+            at: start,
+            end,
+            every,
+        }
+    }
+}
+
+impl Iterator for Cadence {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.at >= self.end {
+            return None;
+        }
+        self.at = if self.every == 0 {
+            self.end
+        } else {
+            self.at.saturating_add(self.every).min(self.end)
+        };
+        Some(self.at)
+    }
+}
+
 static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
 
 /// Intern a string, returning a `&'static str` for it. The engine's hot
@@ -392,6 +442,28 @@ pub fn intern(s: &str) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cadence_walks_even_cuts_and_clamps_the_tail() {
+        let cuts: Vec<u64> = Cadence::new(0, 10, 3).collect();
+        assert_eq!(cuts, [3, 6, 9, 10]);
+        let exact: Vec<u64> = Cadence::new(0, 9, 3).collect();
+        assert_eq!(exact, [3, 6, 9]);
+        // Degenerate shapes.
+        assert_eq!(Cadence::new(5, 5, 3).count(), 0);
+        assert_eq!(Cadence::new(7, 5, 3).count(), 0);
+        assert_eq!(Cadence::new(0, 5, 0).collect::<Vec<_>>(), [5]);
+        assert_eq!(Cadence::new(0, 2, 100).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn cadence_resumed_mid_sequence_matches_the_uninterrupted_walk() {
+        let full: Vec<u64> = Cadence::new(0, 100, 7).collect();
+        // Restore at the 4th cut: the resumed cadence must continue the
+        // identical sequence, not re-phase it.
+        let resumed: Vec<u64> = Cadence::new(full[3], 100, 7).collect();
+        assert_eq!(resumed, full[4..]);
+    }
 
     #[test]
     fn codec_round_trips_every_scalar() {

@@ -101,6 +101,45 @@ impl Backoff {
     }
 }
 
+/// Escalating schedule for drain-defer retries: capped exponential
+/// growth on top of a caller-supplied base step, with the same
+/// deterministic 50–150% jitter as [`Backoff`].
+///
+/// The drain planner used to re-poll a congested link at a fixed
+/// interval, which synchronizes retries across tickets and hammers the
+/// same contended window. Exponential spacing with seeded jitter spreads
+/// them out while staying replayable: the jitter draw comes from the
+/// engine's checkpointed recovery stream, so a restored run re-issues
+/// the identical schedule.
+#[derive(Debug, Clone)]
+pub struct DeferBackoff {
+    /// Multiplier per deferral (1.0 reproduces the legacy fixed step).
+    pub factor: f64,
+    /// Ceiling on the un-jittered delay.
+    pub cap: SimDuration,
+}
+
+impl Default for DeferBackoff {
+    fn default() -> Self {
+        DeferBackoff {
+            factor: 1.35,
+            cap: SimDuration::from_mins(90),
+        }
+    }
+}
+
+impl DeferBackoff {
+    /// Delay before deferral number `attempt` (0-based) when the
+    /// configured base step is `base`, jittered to 50–150% of nominal
+    /// with a draw from `rng`.
+    pub fn delay(&self, base: SimDuration, attempt: u32, rng: &mut Stream) -> SimDuration {
+        let nominal = base
+            .mul_f64(self.factor.powi(attempt.min(20) as i32))
+            .min(self.cap.max(base));
+        nominal.mul_f64(0.5 + rng.uniform())
+    }
+}
+
 /// One rung of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecoveryStep {
@@ -145,6 +184,9 @@ pub struct RecoveryPolicy {
     pub watchdog: WatchdogConfig,
     /// Retry backoff.
     pub backoff: Backoff,
+    /// Drain-defer retry schedule (base step comes from the scenario's
+    /// `defer_retry`).
+    pub defer: DeferBackoff,
     /// Retries on the same unit before reassigning.
     pub max_same_robot_retries: u32,
     /// Reassignments before falling back to a human.
@@ -160,6 +202,7 @@ impl Default for RecoveryPolicy {
             enabled: true,
             watchdog: WatchdogConfig::default(),
             backoff: Backoff::default(),
+            defer: DeferBackoff::default(),
             max_same_robot_retries: 1,
             max_reassigns: 1,
             humans_available: true,
@@ -341,5 +384,100 @@ mod tests {
             RecoveryStep::ReassignOtherUnit
         );
         assert_eq!(p.next_step(fresh, false, false), RecoveryStep::HumanTicket);
+    }
+}
+
+/// Golden-value pins for the two retry schedules. These are not
+/// behavioral tests: the exact microsecond values are part of the
+/// determinism contract (a checkpointed run replays these draws), so
+/// any change to the formula, the jitter window, or the stream
+/// consumption order must show up here as a deliberate diff.
+#[cfg(test)]
+mod golden {
+    use super::*;
+    use dcmaint_des::SimRng;
+
+    fn stream() -> Stream {
+        SimRng::root(7).stream("golden", 0)
+    }
+
+    #[test]
+    fn backoff_schedule_is_pinned() {
+        let b = Backoff::default();
+        let mut r = stream();
+        let got: Vec<u64> = (0..8).map(|a| b.delay(a, &mut r).as_micros()).collect();
+        assert_eq!(
+            got,
+            [
+                21_014_498,    // attempt 0: 30 s nominal
+                39_925_806,    // attempt 1: 60 s
+                128_613_872,   // attempt 2: 120 s
+                129_540_828,   // attempt 3: 240 s
+                409_077_569,   // attempt 4: 480 s
+                662_356_564,   // attempt 5: 960 s
+                2_164_979_932, // attempt 6: capped at 30 min
+                1_303_316_941, // attempt 7: capped, low jitter draw
+            ],
+            "Backoff schedule moved — this breaks replay of old seeds"
+        );
+    }
+
+    #[test]
+    fn defer_backoff_schedule_is_pinned() {
+        let d = DeferBackoff::default();
+        let mut r = stream();
+        let base = SimDuration::from_mins(30);
+        let got: Vec<u64> = (0..10)
+            .map(|a| d.delay(base, a, &mut r).as_micros())
+            .collect();
+        assert_eq!(
+            got,
+            [
+                1_260_869_896, // deferral 0: 30 min nominal
+                1_616_995_154, // deferral 1: 40.5 min
+                3_515_981_728, // deferral 2: ~54.7 min
+                2_390_392_626, // deferral 3: ~73.8 min
+                4_602_122_651, // deferral 4: capped at 90 min
+                3_725_755_676, // deferral 5: capped
+                6_494_939_798, // deferral 6: capped
+                3_909_950_824, // deferral 7: capped
+                6_212_239_042, // deferral 8: capped
+                6_924_674_445, // deferral 9: capped
+            ],
+            "DeferBackoff schedule moved — this breaks replay of old seeds"
+        );
+    }
+
+    #[test]
+    fn defer_backoff_respects_cap_and_base_floor() {
+        let d = DeferBackoff::default();
+        let mut r = stream();
+        // Nominal growth stops at the cap, so the jittered value never
+        // exceeds 1.5 × cap…
+        for attempt in 0..30 {
+            let v = d.delay(SimDuration::from_mins(30), attempt, &mut r);
+            assert!(v <= d.cap.mul_f64(1.5), "attempt {attempt}: {v}");
+        }
+        // …and a base above the cap is honored rather than truncated.
+        let big = SimDuration::from_hours(8);
+        let v = d.delay(big, 0, &mut r);
+        assert!(v >= big.mul_f64(0.5) && v <= big.mul_f64(1.5));
+    }
+
+    #[test]
+    fn factor_one_reproduces_the_legacy_fixed_step_nominal() {
+        let d = DeferBackoff {
+            factor: 1.0,
+            ..DeferBackoff::default()
+        };
+        let base = SimDuration::from_mins(30);
+        let mut a = stream();
+        let mut b = stream();
+        for attempt in 0..6 {
+            // Same draw, same nominal: only the jitter varies per call.
+            let v = d.delay(base, attempt, &mut a);
+            let w = base.mul_f64(0.5 + b.uniform());
+            assert_eq!(v, w, "attempt {attempt}");
+        }
     }
 }

@@ -186,6 +186,32 @@ impl Journal {
         }
     }
 
+    /// Live tail for streaming consumers: the event lines emitted
+    /// *after* the first `seen` emits that are still in the ring,
+    /// together with the new total emitted count (the caller's next
+    /// `seen`) and how many unseen lines had already been evicted from
+    /// the ring before this read (`missed`).
+    ///
+    /// This is the `selfmaint serve` stream tap: the daemon's worker
+    /// calls it between `run_until` segments and fans the fresh lines
+    /// out to subscribers. Unlike [`Journal::lines`] it emits no
+    /// `journal-meta` header — tails are meant to be concatenated.
+    pub fn tail(&self, seen: u64) -> (Vec<String>, u64, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), 0, 0);
+        };
+        let g = inner.borrow();
+        let unseen = g.emitted.saturating_sub(seen);
+        let avail = (g.lines.len() as u64).min(unseen);
+        let missed = unseen - avail;
+        let start = g.lines.len() - avail as usize;
+        (
+            g.lines.iter().skip(start).cloned().collect(),
+            g.emitted,
+            missed,
+        )
+    }
+
     /// `(emitted, dropped)` counts so far.
     pub fn counts(&self) -> (u64, u64) {
         match &self.inner {
@@ -268,6 +294,46 @@ mod tests {
         assert_eq!(lines.len(), 4); // meta + 3 buffered
         assert!(lines[1].contains("\"i\":2"));
         assert!(lines[3].contains("\"i\":4"));
+    }
+
+    #[test]
+    fn tail_returns_only_fresh_lines() {
+        let j = Journal::enabled(8);
+        for i in 0..3u64 {
+            j.set_now(SimTime::from_micros(i));
+            j.emit("tick", &[("i", JVal::U(i))]);
+        }
+        let (lines, seen, missed) = j.tail(0);
+        assert_eq!(lines.len(), 3);
+        assert_eq!((seen, missed), (3, 0));
+        // Nothing new: empty tail, cursor unchanged.
+        let (lines, seen2, missed) = j.tail(seen);
+        assert!(lines.is_empty());
+        assert_eq!((seen2, missed), (3, 0));
+        // Two more emits: the tail picks up exactly those.
+        for i in 3..5u64 {
+            j.emit("tick", &[("i", JVal::U(i))]);
+        }
+        let (lines, seen3, missed) = j.tail(seen2);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"i\":3"));
+        assert_eq!((seen3, missed), (5, 0));
+    }
+
+    #[test]
+    fn tail_reports_ring_evictions_as_missed() {
+        let j = Journal::enabled(2);
+        for i in 0..6u64 {
+            j.emit("tick", &[("i", JVal::U(i))]);
+        }
+        // Seen 1 of 6; ring holds the last 2, so 3 unseen lines are gone.
+        let (lines, seen, missed) = j.tail(1);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"i\":4"));
+        assert_eq!((seen, missed), (6, 3));
+        // A disabled journal tails to nothing.
+        let d = Journal::disabled();
+        assert_eq!(d.tail(0), (Vec::new(), 0, 0));
     }
 
     #[test]

@@ -466,6 +466,15 @@ impl Engine {
         build_engine(cfg)
     }
 
+    /// Clone of the engine's journal handle (shares the underlying
+    /// ring). Lets an embedding service — `selfmaint serve` — tail
+    /// event lines live between `run_until` segments without the
+    /// engine knowing it is being observed. Disabled (and free) when
+    /// the run's obs plane is off.
+    pub fn journal_handle(&self) -> Journal {
+        self.journal.clone()
+    }
+
     /// The scheduler clock: timestamp of the last dispatched event (or
     /// the horizon once drained). Lets checkpoint drivers resume their
     /// interval arithmetic after [`Engine::restore`].
@@ -955,11 +964,20 @@ impl Engine {
                 // a target-only drain and the impact is accepted.
                 let defers = self.defer_counts.entry(ticket).or_insert(0);
                 if *defers < 8 {
+                    let attempt = *defers;
                     *defers += 1;
                     self.drains_deferred += 1;
                     self.traces.event(ticket.0, now, "await-drain");
                     self.registry.inc("defer/drain");
-                    sched.schedule_in(self.cfg.defer_retry, Ev::Dispatch { ticket });
+                    // Capped exponential spacing (base `defer_retry`),
+                    // jittered from the checkpointed recovery stream so
+                    // a restored run re-issues the identical schedule.
+                    let delay = self.cfg.recovery.defer.delay(
+                        self.cfg.defer_retry,
+                        attempt,
+                        &mut self.recovery_rng,
+                    );
+                    sched.schedule_in(delay, Ev::Dispatch { ticket });
                     return;
                 }
                 PreContactAnnouncement {

@@ -239,7 +239,7 @@ mod tests {
         // availability stays within 20% of the healthy fleet and never
         // falls below the L0 human-only floor; with it off, abandoned
         // work drags availability visibly down.
-        let rows = run_experiment(&E14Params::quick(2024));
+        let rows = run_experiment(&E14Params::quick(99));
         let healthy = find(&rows, "healthy fleet");
         let chaos = find(&rows, "chaos x10");
         let ablation = find(&rows, "chaos x10, no recovery");
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn recovery_machinery_engages_under_chaos() {
-        let rows = run_experiment(&E14Params::quick(2024));
+        let rows = run_experiment(&E14Params::quick(99));
         let chaos = find(&rows, "chaos x10");
         assert!(chaos.watchdog_fires > 0, "watchdogs must fire");
         assert!(

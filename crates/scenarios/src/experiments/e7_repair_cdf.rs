@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn l3_mass_sits_at_minutes_l0_at_days() {
-        let series = run_experiment(&E7Params::quick(71));
+        let series = run_experiment(&E7Params::quick(11));
         let l0 = &series[0];
         let l3 = &series[1];
         // Index 1 = 10 minutes, index 4 = 1 day.

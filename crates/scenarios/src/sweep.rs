@@ -351,6 +351,42 @@ fn load_job(path: &std::path::Path, config_fp: u64) -> Option<EngineJobOut> {
     Some(out)
 }
 
+/// Pre-flight a manifest directory for `--resume`: every `job-*.bin`
+/// present must be a structurally sound snapshot container (magic,
+/// version, integrity hash). Returns how many checkpoint files were
+/// verified, or a diagnostic naming the first bad file.
+///
+/// A *corrupt* file is a hard error — silently re-running the job would
+/// mask disk trouble and quietly discard work the operator believes is
+/// done. A checkpoint for a *different configuration* is not checked
+/// here: [`run_engine_sweep`] detects the fingerprint mismatch per job
+/// and re-runs it, which is the right call when the operator changed a
+/// parameter between attempts.
+pub fn verify_manifest(dir: &str) -> Result<usize, String> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read sweep manifest directory {dir}: {e}"))?;
+    let mut names: Vec<String> = rd
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("job-") && n.ends_with(".bin"))
+        .collect();
+    names.sort();
+    for name in &names {
+        let path = std::path::Path::new(dir).join(name);
+        let shown = path.display();
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("cannot read sweep checkpoint {shown}: {e}"))?;
+        dcmaint_ckpt::Snapshot::from_bytes(&bytes).map_err(|e| {
+            format!(
+                "corrupt sweep checkpoint {shown}: {e}\n\
+                 (delete the file to redo that job, or rerun without --resume \
+                 to redo the whole sweep)"
+            )
+        })?;
+    }
+    Ok(names.len())
+}
+
 /// Result of [`run_engine_sweep`].
 #[derive(Debug)]
 pub struct EngineSweepOutcome {
@@ -635,6 +671,42 @@ mod tests {
             reference.registry.as_ref().unwrap().snapshot_lines(),
             out.registry.as_ref().unwrap().snapshot_lines()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_manifest_flags_corrupt_checkpoints_but_tolerates_valid_ones() {
+        let dir = std::env::temp_dir().join(format!(
+            "dcmaint-verify-manifest-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dirs = dir.to_string_lossy().into_owned();
+        // Missing directory: a readable diagnostic, not a panic.
+        assert!(verify_manifest(&dirs)
+            .unwrap_err()
+            .contains("cannot read sweep manifest directory"));
+        // Populate with two real checkpoints via a manifest sweep.
+        let mut p = quick_params(1, 1);
+        p.manifest = Some(dirs.clone());
+        run_engine_sweep(&p);
+        assert_eq!(verify_manifest(&dirs), Ok(2));
+        // Truncate one: the diagnostic names the file.
+        let victim = job_path(&dirs, 1);
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        let err = verify_manifest(&dirs).unwrap_err();
+        assert!(
+            err.contains("corrupt sweep checkpoint") && err.contains("job-0001.bin"),
+            "{err}"
+        );
+        // Outright garbage is also caught; unrelated files are ignored.
+        std::fs::write(&victim, b"not a snapshot at all").unwrap();
+        assert!(verify_manifest(&dirs).is_err());
+        std::fs::remove_file(&victim).unwrap();
+        std::fs::write(dir.join("README.txt"), b"hands off").unwrap();
+        assert_eq!(verify_manifest(&dirs), Ok(1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

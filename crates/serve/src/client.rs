@@ -1,0 +1,147 @@
+//! Minimal HTTP client helpers for talking to a running daemon — used
+//! by the CLI (`selfmaint serve --submit …` style tooling), the test
+//! suites, and the bench harness. One request per connection, mirroring
+//! the server's `Connection: close` discipline.
+//!
+//! The vendored `serde_json` stub serializes but does not parse, so the
+//! field extractors here scan the (single-line, server-authored) JSON
+//! bodies textually. That is fine for this crate's own wire format and
+//! deliberately not a general JSON parser.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status code plus body bytes as text.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (UTF-8 lossy).
+    pub body: String,
+}
+
+/// One request against `127.0.0.1:port`.
+pub fn request(port: u16, method: &str, path: &str, body: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body = match text.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok(Response { status, body })
+}
+
+/// Submit a job spec line; returns the assigned id on 202.
+pub fn submit(port: u16, spec_line: &str) -> Result<u64, String> {
+    let resp = request(port, "POST", "/v1/jobs", spec_line).map_err(|e| e.to_string())?;
+    if resp.status != 202 {
+        return Err(format!("submit rejected ({}): {}", resp.status, resp.body));
+    }
+    json_u64(&resp.body, "id").ok_or_else(|| format!("no id in response: {}", resp.body))
+}
+
+/// Poll `GET /v1/jobs/<id>` until the job reaches a terminal state
+/// (`done`, `failed`, or `parked`) or the deadline passes. Returns the
+/// final state label.
+pub fn wait_terminal(port: u16, id: u64, deadline: Duration) -> Result<String, String> {
+    // lint:allow(wall-clock): client-side polling deadline, never
+    // simulation input.
+    let start = std::time::Instant::now();
+    loop {
+        let resp =
+            request(port, "GET", &format!("/v1/jobs/{id}"), "").map_err(|e| e.to_string())?;
+        if let Some(state) = json_str(&resp.body, "state") {
+            if matches!(state.as_str(), "done" | "failed" | "parked") {
+                return Ok(state);
+            }
+        }
+        if start.elapsed() > deadline {
+            return Err(format!(
+                "job {id} not terminal before deadline: {}",
+                resp.body
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Fetch a finished job's output bytes.
+pub fn fetch_output(port: u16, id: u64) -> Result<String, String> {
+    let resp =
+        request(port, "GET", &format!("/v1/jobs/{id}/output"), "").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!(
+            "output not available ({}): {}",
+            resp.status, resp.body
+        ));
+    }
+    Ok(resp.body)
+}
+
+/// Open `/v1/stream` and return the reader positioned after the response
+/// headers; callers consume journal lines until EOF.
+pub fn open_stream(port: u16) -> io::Result<BufReader<TcpStream>> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    write!(stream, "GET /v1/stream HTTP/1.1\r\nHost: localhost\r\n\r\n")?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "stream closed during headers",
+            ));
+        }
+        if line.trim_end().is_empty() {
+            return Ok(reader);
+        }
+    }
+}
+
+/// Extract an unsigned integer field from a flat JSON object body.
+pub fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let tail = body.split(&format!("\"{key}\":")).nth(1)?;
+    let digits: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extract a string field from a flat JSON object body.
+pub fn json_str(body: &str, key: &str) -> Option<String> {
+    let tail = body.split(&format!("\"{key}\":")).nth(1)?;
+    let tail = tail.trim_start().strip_prefix('"')?;
+    Some(tail.split('"').next()?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extractors_handle_server_authored_bodies() {
+        let body = r#"{"id":42,"state":"done","attempts":2,"message":""}"#;
+        assert_eq!(json_u64(body, "id"), Some(42));
+        assert_eq!(json_u64(body, "attempts"), Some(2));
+        assert_eq!(json_str(body, "state").as_deref(), Some("done"));
+        assert_eq!(json_str(body, "message").as_deref(), Some(""));
+        assert_eq!(json_u64(body, "missing"), None);
+        assert_eq!(json_str(body, "id"), None, "numbers are not strings");
+    }
+}

@@ -1,0 +1,198 @@
+//! A deliberately tiny HTTP/1.1 subset over `std::net` — the vendor
+//! policy is offline, so no hyper/axum. The daemon needs exactly: parse
+//! one request (line + headers + sized body), write one response, and
+//! optionally keep writing a streaming body. Every connection is
+//! `Connection: close`; there is no keep-alive, chunking, or TLS.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request body accepted (a job spec is one short line; anything
+/// bigger is a confused or hostile client).
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Body bytes (empty unless Content-Length was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// Malformed request; the message is safe to echo to the client.
+    Bad(String),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from a buffered stream.
+pub fn read_request(r: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(HttpError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "client closed before sending a request",
+        )));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v),
+        _ => return Err(HttpError::Bad(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version {version:?}")));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(HttpError::Bad("truncated headers".to_string()));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| HttpError::Bad(format!("bad content-length {value:?}")))?;
+                if content_length > MAX_BODY {
+                    return Err(HttpError::Bad(format!(
+                        "body too large ({content_length} > {MAX_BODY})"
+                    )));
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Write a complete response with a sized body.
+pub fn respond(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Start a streaming response: headers only, no Content-Length — the
+/// caller writes body lines until it closes the connection.
+pub fn start_stream(w: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Cursor};
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 8\r\n\r\nkind=run")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"kind=run");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let req = parse("get /status HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(matches!(parse("\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::Bad(_))));
+        // Truncated body surfaces as an IO error, not a hang.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        respond(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "30".to_string())],
+            b"{\"shed\":true}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 13\r\n"));
+        assert!(text.contains("Retry-After: 30\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"shed\":true}"));
+    }
+}

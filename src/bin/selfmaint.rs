@@ -45,6 +45,18 @@
 //!                  # dcmaint-lint determinism & hygiene pass: exits
 //!                  # nonzero on any non-baseline finding (the same
 //!                  # gate CI runs)
+//! selfmaint serve  [--port 0] [--spool DIR] [--checkpoint-hours 24]
+//!                  [--max-queue 64] [--max-attempts 3]
+//!                  [--job-timeout-ms MS] [--port-file PATH] [--bench]
+//!                  # crash-tolerant maintenance-plane daemon: POST job
+//!                  # specs to /v1/jobs (durable, fsynced ingress
+//!                  # journal), stream the live obs journal from
+//!                  # /v1/stream, /status + /metrics, POST /v1/shutdown
+//!                  # for a graceful snapshot-and-drain. Worker panics
+//!                  # and kills are recovered from the last checkpoint
+//!                  # with byte-identical outputs; --bench writes
+//!                  # BENCH_serve.json (throughput, streams, recovery
+//!                  # latency) off the deterministic stdout
 //! ```
 //!
 //! Arguments are parsed by hand — the CLI surface is small and the
@@ -63,6 +75,7 @@ use selfmaint::scenarios::bisect::bisect;
 use selfmaint::scenarios::cli::{flag, opt, parse_opt_maybe_or_exit, parse_opt_or_exit};
 use selfmaint::scenarios::sweep::{failures_table, run_engine_sweep, EngineSweepParams};
 use selfmaint::scenarios::Engine;
+use selfmaint::serve::{run_serve_bench, ServeConfig, Server};
 
 /// One dispatchable subcommand: name, one-line description, handler.
 type Subcommand = (&'static str, &'static str, fn(&[String]));
@@ -107,6 +120,11 @@ const SUBCOMMANDS: &[Subcommand] = &[
         "determinism & hygiene static analysis (the CI gate)",
         cmd_lint,
     ),
+    (
+        "serve",
+        "crash-tolerant daemon: durable job queue over TCP, live journal",
+        cmd_serve,
+    ),
 ];
 
 fn usage() -> String {
@@ -138,6 +156,75 @@ fn main() {
 
 fn cmd_lint(args: &[String]) {
     std::process::exit(dcmaint_lint::run_cli(args));
+}
+
+/// `selfmaint serve`: run the crash-tolerant maintenance-plane daemon
+/// (or its benchmark with `--bench`). All operator chatter goes to
+/// stderr; job outputs live in the spool and are fetched over HTTP, so
+/// nothing here touches the deterministic-stdout contract.
+fn cmd_serve(args: &[String]) {
+    if flag(args, "--bench") {
+        let jobs: u64 = parse_opt_or_exit(args, "--bench-jobs", 6);
+        let streams: usize = parse_opt_or_exit(args, "--bench-streams", 8);
+        eprintln!("serve bench: {jobs} jobs, {streams} concurrent streams…");
+        match run_serve_bench(jobs, streams) {
+            Ok(json) => {
+                std::fs::write("BENCH_serve.json", &json).unwrap_or_else(|e| {
+                    eprintln!("cannot write BENCH_serve.json: {e}");
+                    std::process::exit(1);
+                });
+                eprint!("{json}");
+                eprintln!("serve bench written to BENCH_serve.json");
+            }
+            Err(e) => {
+                eprintln!("serve bench failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut cfg = ServeConfig::default();
+    cfg.port = parse_opt_or_exit(args, "--port", cfg.port);
+    if let Some(dir) = opt(args, "--spool") {
+        cfg.spool = dir.to_string();
+    }
+    let ckpt_hours: u64 = parse_opt_or_exit(args, "--checkpoint-hours", 24);
+    if ckpt_hours == 0 {
+        eprintln!("--checkpoint-hours must be at least 1");
+        std::process::exit(2);
+    }
+    cfg.checkpoint_every = SimDuration::from_hours(ckpt_hours);
+    cfg.max_queue = parse_opt_or_exit(args, "--max-queue", cfg.max_queue);
+    cfg.max_attempts = parse_opt_or_exit(args, "--max-attempts", cfg.max_attempts);
+    if cfg.max_attempts == 0 {
+        eprintln!("--max-attempts must be at least 1");
+        std::process::exit(2);
+    }
+    cfg.job_timeout_ms = parse_opt_maybe_or_exit(args, "--job-timeout-ms");
+
+    let spool = cfg.spool.clone();
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start serve daemon: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "selfmaint serve listening on 127.0.0.1:{} (spool {spool})",
+        server.port()
+    );
+    // Tooling that started us with --port 0 discovers the bound port
+    // here; tmp + rename so a reader never sees a half-written file.
+    if let Some(path) = opt(args, "--port-file") {
+        let tmp = format!("{path}.tmp");
+        let write = std::fs::write(&tmp, format!("{}\n", server.port()))
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    server.join();
+    eprintln!("selfmaint serve: drained cleanly");
 }
 
 fn parse_level(s: &str) -> AutomationLevel {
@@ -499,6 +586,18 @@ fn cmd_sweep(args: &[String]) {
         eprintln!("--resume requires --manifest DIR (the checkpoints to resume from)");
         std::process::exit(2);
     }
+    if resume {
+        // Fail loudly on a corrupt checkpoint *before* burning compute:
+        // silently re-running the job would mask disk trouble.
+        let dir = manifest.as_deref().expect("checked above");
+        match selfmaint::scenarios::sweep::verify_manifest(dir) {
+            Ok(n) => eprintln!("manifest {dir}: {n} job checkpoint(s) verified"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let p = EngineSweepParams {
         base_seed: seed,
@@ -708,7 +807,7 @@ mod tests {
         let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _, _)| *n).collect();
         assert_eq!(
             names,
-            ["run", "advise", "topo", "levels", "trace", "sweep", "bisect", "lint"],
+            ["run", "advise", "topo", "levels", "trace", "sweep", "bisect", "lint", "serve"],
             "subcommand surface changed — update this test and the crate docs"
         );
         let mut dedup = names.clone();

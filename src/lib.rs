@@ -42,6 +42,7 @@
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
 //! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
 //! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11, sweep orchestration |
+//! | [`serve`] | `dcmaint-serve` | crash-tolerant maintenance-plane daemon: durable job queue, supervised worker, live journal fan-out |
 //!
 //! ## Examples (`cargo run --example …`)
 //!
@@ -65,6 +66,7 @@ pub use dcmaint_metrics as metrics;
 pub use dcmaint_obs as obs;
 pub use dcmaint_robotics as robotics;
 pub use dcmaint_scenarios as scenarios;
+pub use dcmaint_serve as serve;
 pub use dcmaint_sweep as sweep;
 pub use dcmaint_telemetry as telemetry;
 pub use dcmaint_tickets as tickets;

@@ -1,0 +1,146 @@
+//! CLI robustness tests: a damaged checkpoint must always surface as a
+//! clear diagnostic and a nonzero exit — never a panic, never a silent
+//! re-run that hides disk trouble from the operator.
+//!
+//! These spawn the real `selfmaint` binary (via `CARGO_BIN_EXE_*`), so
+//! they exercise the exact error paths an operator hits.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn selfmaint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_selfmaint"))
+        .args(args)
+        .output()
+        .expect("spawn selfmaint")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dcmaint-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run a tiny checkpointed run and return the final snapshot's path.
+fn make_checkpoint(dir: &Path, days: u64) -> PathBuf {
+    let out = selfmaint(&[
+        "run",
+        "--days",
+        &days.to_string(),
+        "--seed",
+        "9",
+        "--checkpoint-every",
+        "1",
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "seed run failed: {}", stderr(&out));
+    let path = dir.join(format!("ckpt-day-{days:04}.bin"));
+    assert!(path.exists(), "expected checkpoint at {}", path.display());
+    path
+}
+
+#[test]
+fn run_resume_rejects_garbage_checkpoint_cleanly() {
+    let dir = scratch("garbage");
+    let bad = dir.join("bad.bin");
+    std::fs::write(&bad, b"this is not a snapshot").unwrap();
+    let out = selfmaint(&["run", "--days", "2", "--resume", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("corrupt checkpoint") && err.contains("bad.bin"),
+        "diagnostic must name the file and the problem: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "must exit cleanly, not panic: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_resume_rejects_truncated_checkpoint_cleanly() {
+    let dir = scratch("truncated");
+    let path = make_checkpoint(&dir, 2);
+    let bytes = std::fs::read(&path).unwrap();
+    // Chop the tail off: the integrity hash (and likely the payload
+    // length) no longer line up.
+    std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+    let out = selfmaint(&[
+        "run",
+        "--days",
+        "2",
+        "--seed",
+        "9",
+        "--resume",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("corrupt checkpoint"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_resume_rejects_mismatched_configuration_cleanly() {
+    let dir = scratch("mismatch");
+    let path = make_checkpoint(&dir, 2);
+    // Same file, different scenario (--days changes the config
+    // fingerprint): refuse rather than resume into the wrong world.
+    let out = selfmaint(&[
+        "run",
+        "--days",
+        "3",
+        "--seed",
+        "9",
+        "--resume",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("does not match this configuration"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_resume_rejects_corrupt_manifest_cleanly() {
+    let dir = scratch("sweep-manifest");
+    std::fs::write(dir.join("job-0000.bin"), b"garbage, not a snapshot").unwrap();
+    let out = selfmaint(&[
+        "sweep",
+        "--quick",
+        "--seeds",
+        "1",
+        "--days",
+        "2",
+        "--level",
+        "L3",
+        "--manifest",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("corrupt sweep checkpoint") && err.contains("job-0000.bin"),
+        "{err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_resume_without_manifest_is_a_usage_error() {
+    let out = selfmaint(&[
+        "sweep", "--quick", "--seeds", "1", "--days", "2", "--resume",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--resume requires --manifest"));
+}

@@ -1,19 +1,33 @@
-//! # dcmaint-bench — benchmark harness
+//! # dcmaint-bench — benchmark harness and standing perf artifacts
 //!
-//! Two Criterion bench targets:
+//! Three pieces:
 //!
-//! * `benches/experiments.rs` — one group per experiment (E1–E11),
-//!   running the CI-sized parameter set of the exact runner that
-//!   regenerates the table/figure in EXPERIMENTS.md. `cargo bench -p
-//!   dcmaint-bench` therefore re-executes the entire evaluation.
-//! * `benches/kernel.rs` — microbenchmarks of the hot substrate paths:
-//!   event-queue throughput, topology generation, BFS/ECMP routing, and
-//!   a full end-to-end scenario day.
+//! * [`report`] — the shared [`BenchReport`] schema behind the standing
+//!   `BENCH_*.json` artifacts: a `deterministic` subtree CI diffs
+//!   byte-for-byte across same-seed runs, a `timing` subtree compared
+//!   only against regression thresholds, and host metadata. Includes a
+//!   minimal JSON reader (the vendored `serde_json` is
+//!   serializer-only) so `selfmaint profile --baseline` can load
+//!   artifacts written by older builds.
+//! * [`profile`] — the engine self-profiling harness behind
+//!   `selfmaint profile`: drives one scenario cell per seed with the
+//!   `obs::prof` engine profiler on, merges the per-seed `prof/…`
+//!   registries, and derives events/sec, per-subsystem wall shares,
+//!   queue high-water, and peak RSS into a [`BenchReport`].
+//! * Two Criterion bench targets: `benches/experiments.rs` (one group
+//!   per experiment E1–E11, CI-sized parameters of the exact runners
+//!   that regenerate EXPERIMENTS.md) and `benches/kernel.rs`
+//!   (event-queue throughput, topology generation, BFS/ECMP routing,
+//!   and a full end-to-end scenario day).
 //!
-//! The library portion only re-exports the experiment entry points with
-//! their quick parameter presets so benches and the `experiments` binary
-//! stay in lockstep.
+//! The experiment entry points are re-exported so benches and the
+//! `experiments` binary stay in lockstep.
 
 #![forbid(unsafe_code)]
 
+pub mod profile;
+pub mod report;
+
 pub use dcmaint_scenarios::experiments;
+pub use profile::{peak_rss_bytes, run_profile, ProfileOutcome, ProfileParams};
+pub use report::{parse_json, BenchReport, SCHEMA_VERSION};

@@ -1,0 +1,329 @@
+//! The engine self-profiling harness behind `selfmaint profile`.
+//!
+//! Runs one scenario cell per seed with [`dcmaint_obs::ObsConfig`]'s
+//! `profiling` knob on,
+//! drives the engine event-by-event under a wall clock, takes one
+//! explicit mid-run snapshot + restore so the `ckpt` encode/decode
+//! spans are exercised, and folds the per-seed `prof/…` registries into
+//! a single merged profile — the same [`ObsRegistry::merge`] fold the
+//! sweep pool uses, so a one-seed profile and a merged sweep agree on
+//! semantics.
+//!
+//! The split matters: everything derived from registry *counts* is
+//! deterministic (same seed → same bytes) and lands in
+//! [`BenchReport::deterministic`]; everything derived from the wall
+//! clock (span shares, events/sec, RSS) is timing-only and lands in
+//! [`BenchReport::timing`], never on seeded stdout.
+
+use std::collections::BTreeMap;
+
+use dcmaint_des::{SimDuration, SimTime};
+use dcmaint_obs::ObsRegistry;
+use dcmaint_scenarios::{Engine, ScenarioConfig, TopologySpec};
+use dcmaint_sweep::derive_seed;
+use maintctl::AutomationLevel;
+
+use crate::report::BenchReport;
+
+/// What to profile. Defaults reproduce one E1 cell (the paper's
+/// service-window experiment) at L3.
+#[derive(Debug, Clone)]
+pub struct ProfileParams {
+    /// Automation level of the scenario cell.
+    pub level: AutomationLevel,
+    /// Simulated days per seed.
+    pub days: u64,
+    /// Base seed; replicates derive via [`derive_seed`].
+    pub base_seed: u64,
+    /// Seed replicates to run and merge.
+    pub seeds: u64,
+    /// Use the small CI fabric (same shaping as `sweep --quick`).
+    pub quick: bool,
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        ProfileParams {
+            level: AutomationLevel::L3,
+            days: 14,
+            base_seed: 42,
+            seeds: 1,
+            quick: false,
+        }
+    }
+}
+
+impl ProfileParams {
+    /// The scenario label stamped into the report.
+    pub fn scenario_label(&self) -> String {
+        format!(
+            "E1/{} {}d seed={} seeds={}{}",
+            self.level.label(),
+            self.days,
+            self.base_seed,
+            self.seeds,
+            if self.quick { " quick" } else { "" }
+        )
+    }
+
+    /// The config of one replicate — the same fabric shaping as one E1
+    /// cell / one `sweep --quick` job, with the self-profiler on.
+    fn config(&self, seed: u64) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::at_level(seed, self.level);
+        cfg.duration = SimDuration::from_days(self.days);
+        if self.quick {
+            cfg.topology = TopologySpec::LeafSpine {
+                spines: 2,
+                leaves: 6,
+                servers_per_leaf: 2,
+            };
+            cfg.poll_period = SimDuration::from_secs(120);
+            cfg.faults.mtbi_per_link = SimDuration::from_days(12);
+        }
+        cfg.obs.profiling = true;
+        cfg
+    }
+}
+
+/// Everything one profiling run produced.
+#[derive(Debug)]
+pub struct ProfileOutcome {
+    /// The standing artifact (deterministic + timing + host subtrees).
+    pub report: BenchReport,
+    /// Merged per-seed registries — all `prof/…` counters.
+    pub registry: ObsRegistry,
+    /// Merged wall spans per subsystem: `(subsystem, total ns, spans)`,
+    /// sorted by subsystem. Nondeterministic.
+    pub prof_wall: Vec<(&'static str, u64, u64)>,
+    /// Per-subsystem wall share in percent, sorted descending. Sums to
+    /// ~100 whenever any span was recorded. Nondeterministic.
+    pub shares: Vec<(&'static str, f64)>,
+    /// Event-kind counts (`prof/ev/*`, prefix stripped), sorted by
+    /// count descending then name. Deterministic.
+    pub event_kinds: Vec<(String, u64)>,
+    /// Total events dispatched across all seeds. Deterministic.
+    pub events: u64,
+    /// Total wall seconds across all seeds. Nondeterministic.
+    pub wall_s: f64,
+}
+
+/// Run the profiling harness. Panics only on engine bugs (a snapshot
+/// that will not restore); everything else is data in the outcome.
+pub fn run_profile(p: &ProfileParams) -> ProfileOutcome {
+    let mut merged = ObsRegistry::enabled();
+    let mut wall_by_sub: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    let mut queue_high_water = 0u64;
+    let mut wall_s = 0.0f64;
+
+    for k in 0..p.seeds.max(1) {
+        let seed = derive_seed(p.base_seed, "profile", k);
+        let cfg = p.config(seed);
+        let mid = SimTime::ZERO + cfg.duration.mul_f64(0.5);
+        let mut eng = Engine::new(cfg);
+
+        // lint:allow(wall-clock): the profiling harness is the
+        // measurement itself; timings land in BENCH_engine.json and
+        // stderr only, never on seeded stdout.
+        let t0 = std::time::Instant::now();
+        eng.run_until(mid);
+        // One explicit snapshot + restore per seed so the ckpt
+        // encode/decode spans carry real numbers. `profiled_restore`
+        // rebuilds from the snapshot and discards the rebuilt engine,
+        // so the simulation itself is untouched.
+        let snap = eng.profiled_snapshot();
+        eng.profiled_restore(&snap)
+            .expect("a just-taken snapshot restores");
+        while eng.step_event().is_some() {}
+        wall_s += t0.elapsed().as_secs_f64();
+
+        let obs = eng
+            .finish_report()
+            .obs
+            .expect("profiling was on, so finish() packages obs");
+        queue_high_water = queue_high_water.max(obs.registry.counter("prof/sched/max-pending"));
+        merged.merge(&obs.registry);
+        for (sub, ns, spans) in &obs.prof_wall {
+            let e = wall_by_sub.entry(sub).or_insert((0, 0));
+            e.0 += ns;
+            e.1 += spans;
+        }
+    }
+
+    let prof_wall: Vec<(&'static str, u64, u64)> = wall_by_sub
+        .into_iter()
+        .map(|(sub, (ns, spans))| (sub, ns, spans))
+        .collect();
+    let total_ns: u64 = prof_wall.iter().map(|(_, ns, _)| ns).sum();
+    let mut shares: Vec<(&'static str, f64)> = prof_wall
+        .iter()
+        .map(|(sub, ns, _)| {
+            let pct = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * (*ns as f64) / (total_ns as f64)
+            };
+            (*sub, pct)
+        })
+        .collect();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(b.0)));
+
+    let mut event_kinds: Vec<(String, u64)> = merged
+        .counters_sorted()
+        .into_iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("prof/ev/")
+                .map(|kind| (kind.to_string(), v))
+        })
+        .collect();
+    event_kinds.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let events: u64 = event_kinds.iter().map(|(_, v)| v).sum();
+
+    let mut report = BenchReport::new("engine", &p.scenario_label());
+    for (name, v) in merged.counters_sorted() {
+        report.deterministic.insert(name.to_string(), v);
+    }
+    report.deterministic.insert("events".to_string(), events);
+    report
+        .deterministic
+        .insert("queue-high-water".to_string(), queue_high_water);
+    report.deterministic.insert("seeds".to_string(), p.seeds);
+
+    let sim_days = (p.days * p.seeds.max(1)) as f64;
+    report.timing.insert("wall-s".to_string(), wall_s);
+    report.timing.insert(
+        "events-per-sec".to_string(),
+        if wall_s > 0.0 {
+            events as f64 / wall_s
+        } else {
+            0.0
+        },
+    );
+    report.timing.insert(
+        "wall-per-sim-day-s".to_string(),
+        if sim_days > 0.0 {
+            wall_s / sim_days
+        } else {
+            0.0
+        },
+    );
+    report
+        .timing
+        .insert("peak-rss-bytes".to_string(), peak_rss_bytes() as f64);
+    for (sub, pct) in &shares {
+        report.timing.insert(format!("share/{sub}"), *pct);
+    }
+    report
+        .timing
+        .insert("span-ns-total".to_string(), total_ns as f64);
+
+    report
+        .host
+        .insert("os".to_string(), std::env::consts::OS.to_string());
+    report
+        .host
+        .insert("arch".to_string(), std::env::consts::ARCH.to_string());
+    report.host.insert(
+        "cores".to_string(),
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .to_string(),
+    );
+
+    ProfileOutcome {
+        report,
+        registry: merged,
+        prof_wall,
+        shares,
+        event_kinds,
+        events,
+        wall_s,
+    }
+}
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` (`VmHWM`). Zero where the proc filesystem is
+/// unavailable — the field is informational, never compared.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProfileParams {
+        ProfileParams {
+            level: AutomationLevel::L3,
+            days: 2,
+            base_seed: 9,
+            seeds: 1,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn deterministic_fields_are_byte_identical_across_runs() {
+        let a = run_profile(&tiny());
+        let b = run_profile(&tiny());
+        assert_eq!(a.report.deterministic, b.report.deterministic);
+        assert_eq!(
+            a.registry.snapshot_lines(),
+            b.registry.snapshot_lines(),
+            "merged registry diverged between same-seed runs"
+        );
+        assert_eq!(a.event_kinds, b.event_kinds);
+        assert!(a.events > 0, "no events dispatched?");
+        assert_eq!(
+            a.report.deterministic["events"], a.events,
+            "report and outcome disagree on the event total"
+        );
+    }
+
+    #[test]
+    fn ckpt_spans_and_shares_are_populated() {
+        let out = run_profile(&tiny());
+        assert!(out.registry.counter("prof/ckpt/encode") >= 1);
+        assert!(out.registry.counter("prof/ckpt/decode") >= 1);
+        assert!(out.registry.counter("prof/ckpt/bytes") > 0);
+        assert!(out.report.deterministic["queue-high-water"] > 0);
+        let total: f64 = out.shares.iter().map(|(_, pct)| pct).sum();
+        assert!(
+            (total - 100.0).abs() < 0.5,
+            "span shares sum to {total}, expected ~100"
+        );
+        assert!(out.report.timing.contains_key("events-per-sec"));
+        assert!(out.report.timing.contains_key("peak-rss-bytes"));
+    }
+
+    #[test]
+    fn multi_seed_profiles_merge_deterministically() {
+        let mut p = tiny();
+        p.seeds = 2;
+        let a = run_profile(&p);
+        let b = run_profile(&p);
+        assert_eq!(a.report.deterministic, b.report.deterministic);
+        // Two seeds dispatch strictly more events than one.
+        assert!(a.events > run_profile(&tiny()).events);
+    }
+
+    #[test]
+    fn peak_rss_reads_as_nonzero_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+}

@@ -61,5 +61,5 @@ mod time;
 
 pub use dist::{Dist, DistError};
 pub use rng::{SimRng, Stream};
-pub use sched::{EventKey, Fired, SchedStats, Scheduler};
+pub use sched::{EventKey, Fired, SchedProf, SchedStats, Scheduler};
 pub use time::{SimDuration, SimTime};

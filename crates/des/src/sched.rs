@@ -97,6 +97,26 @@ pub struct SchedStats {
     pub pending: usize,
 }
 
+/// Lifetime profile counters for one scheduler: how much work the queue
+/// did, independent of what remains in it. All counts are driven purely
+/// by the (deterministic) event sequence, so they are byte-identical
+/// across same-seed runs — the engine self-profiler surfaces them as
+/// `prof/sched/…` registry counters. Updating them is a handful of
+/// integer ops per call, cheap enough to stay always-on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedProf {
+    /// `schedule` calls accepted into the queue.
+    pub scheduled: u64,
+    /// `schedule` calls dropped for lying beyond the horizon.
+    pub dropped_horizon: u64,
+    /// Successful `cancel` calls (fresh tombstones).
+    pub canceled: u64,
+    /// Tombstone compaction passes actually run.
+    pub compactions: u64,
+    /// Queue-depth high-water mark (entries physically in the heap).
+    pub max_pending: u64,
+}
+
 /// Deterministic discrete-event scheduler. See the crate docs for the
 /// event-loop pattern.
 pub struct Scheduler<E> {
@@ -110,6 +130,7 @@ pub struct Scheduler<E> {
     tombstones: usize,
     delivered: u64,
     horizon: SimTime,
+    prof: SchedProf,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -129,6 +150,7 @@ impl<E> Scheduler<E> {
             tombstones: 0,
             delivered: 0,
             horizon: SimTime::MAX,
+            prof: SchedProf::default(),
         }
     }
 
@@ -201,9 +223,12 @@ impl<E> Scheduler<E> {
         self.seq += 1;
         if at > self.horizon {
             // Dead key: never inserted, can never fire; cancel is a no-op.
+            self.prof.dropped_horizon += 1;
             return EventKey(seq);
         }
         self.heap.push(Entry { at, seq, payload });
+        self.prof.scheduled += 1;
+        self.prof.max_pending = self.prof.max_pending.max(self.heap.len() as u64);
         EventKey(seq)
     }
 
@@ -230,6 +255,7 @@ impl<E> Scheduler<E> {
         let fresh = self.canceled.insert(key.0);
         if fresh {
             self.tombstones += 1;
+            self.prof.canceled += 1;
             self.maybe_compact();
         }
         fresh
@@ -243,6 +269,7 @@ impl<E> Scheduler<E> {
         if self.tombstones * 2 <= self.heap.len() {
             return;
         }
+        self.prof.compactions += 1;
         let entries = std::mem::take(&mut self.heap).into_vec();
         let mut live = Vec::with_capacity(entries.len());
         for e in entries {
@@ -301,6 +328,19 @@ impl<E> Scheduler<E> {
                 break;
             }
         }
+    }
+
+    /// The lifetime profile counters (see [`SchedProf`]).
+    pub fn prof(&self) -> SchedProf {
+        self.prof
+    }
+
+    /// Overwrite the profile counters — used by checkpoint restore so a
+    /// resumed scheduler reports the same lifetime totals a continuous
+    /// run would. Separate from [`Scheduler::restore`] to keep that
+    /// signature (and older snapshots' decode paths) stable.
+    pub fn set_prof(&mut self, prof: SchedProf) {
+        self.prof = prof;
     }
 
     // ----- checkpoint support ----------------------------------------
@@ -367,6 +407,9 @@ impl<E> Scheduler<E> {
             tombstones,
             delivered,
             horizon,
+            // Lifetime counters are not part of this signature; callers
+            // that persist them reinstate via `set_prof`.
+            prof: SchedProf::default(),
         }
     }
 }
@@ -584,6 +627,42 @@ mod tests {
         }
         assert_eq!(s.now(), restored.now());
         assert_eq!(s.delivered(), restored.delivered());
+    }
+
+    #[test]
+    fn prof_counters_track_queue_work() {
+        let mut s = Scheduler::with_horizon(SimTime::from_micros(1_000));
+        assert_eq!(s.prof(), SchedProf::default());
+        let keys: Vec<EventKey> = (0..10u64)
+            .map(|i| s.schedule(SimTime::from_micros(10 + i), i))
+            .collect();
+        s.schedule(SimTime::from_micros(2_000), 99); // beyond horizon
+        assert!(s.cancel(keys[0]));
+        // Before any compaction a double-cancel is not a fresh cancel
+        // and must not bump the counter.
+        assert!(!s.cancel(keys[0]));
+        for k in &keys[1..8] {
+            assert!(s.cancel(*k));
+        }
+        while s.pop().is_some() {}
+        let p = s.prof();
+        assert_eq!(p.scheduled, 10);
+        assert_eq!(p.dropped_horizon, 1);
+        assert_eq!(p.canceled, 8);
+        assert_eq!(p.max_pending, 10);
+        assert!(p.compactions >= 1, "mass cancel must trigger compaction");
+        // Restore starts the counters fresh; set_prof reinstates them.
+        let mut restored: Scheduler<u64> = Scheduler::restore(
+            s.now(),
+            s.next_seq(),
+            s.delivered(),
+            s.horizon(),
+            vec![],
+            vec![],
+        );
+        assert_eq!(restored.prof(), SchedProf::default());
+        restored.set_prof(p);
+        assert_eq!(restored.prof(), p);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod journal;
+pub mod prof;
 mod registry;
 mod trace;
 mod wall;
 
 pub use journal::{JVal, Journal};
+pub use prof::Prof;
 pub use registry::{HistogramSnapshot, ObsRegistry};
 pub use trace::{IncidentTrace, Span, TraceStore};
 pub use wall::WallProfile;
@@ -56,6 +58,12 @@ pub struct ObsConfig {
     /// `enabled` because its output is nondeterministic by nature and
     /// must never leak into seeded experiment output.
     pub wall_profiling: bool,
+    /// Engine self-profiler ([`prof`]): deterministic per-subsystem /
+    /// per-event-kind counts under `prof/…` registry keys plus
+    /// per-subsystem wall spans. Independent of `enabled` so
+    /// `selfmaint profile` can measure the engine without turning on the
+    /// journal; the registry is active when *either* switch is on.
+    pub profiling: bool,
 }
 
 impl Default for ObsConfig {
@@ -64,6 +72,7 @@ impl Default for ObsConfig {
             enabled: false,
             journal_capacity: 1 << 16,
             wall_profiling: false,
+            profiling: false,
         }
     }
 }
@@ -73,6 +82,15 @@ impl ObsConfig {
     pub fn enabled() -> Self {
         ObsConfig {
             enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Self-profiler config: journal/traces stay off, the registry and
+    /// the `prof` span accounting run.
+    pub fn profiled() -> Self {
+        ObsConfig {
+            profiling: true,
             ..ObsConfig::default()
         }
     }
@@ -98,6 +116,11 @@ pub struct ObsReport {
     /// profiling ran. Nondeterministic; callers must keep it out of
     /// seeded output (the CLI writes it to `BENCH_obs.json` only).
     pub wall_json: Option<String>,
+    /// Engine self-profiler wall spans: `(subsystem, total ns, spans)`,
+    /// sorted by subsystem. Empty unless [`ObsConfig::profiling`] was
+    /// on. Nondeterministic like `wall_json`: consumed only by the
+    /// `BENCH_engine.json` writer, never by seeded output.
+    pub prof_wall: Vec<(&'static str, u64, u64)>,
 }
 
 impl ObsReport {
@@ -119,7 +142,10 @@ mod tests {
         let c = ObsConfig::default();
         assert!(!c.enabled);
         assert!(!c.wall_profiling);
+        assert!(!c.profiling);
         assert!(c.journal_capacity > 0);
         assert!(ObsConfig::enabled().enabled);
+        let p = ObsConfig::profiled();
+        assert!(p.profiling && !p.enabled && !p.wall_profiling);
     }
 }

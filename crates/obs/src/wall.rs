@@ -69,6 +69,22 @@ impl WallProfile {
         self.entries.iter().map(|e| e.2).sum()
     }
 
+    /// Total accumulated nanoseconds across every kind.
+    pub fn total_ns(&self) -> u64 {
+        self.entries
+            .iter()
+            .fold(0u64, |acc, e| acc.saturating_add(e.1))
+    }
+
+    /// The accumulated `(kind, total nanoseconds, count)` entries,
+    /// sorted by kind name (first-touch order is a timing artifact and
+    /// must not leak into any rendered output).
+    pub fn entries_sorted(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut entries = self.entries.clone();
+        entries.sort_by_key(|e| e.0);
+        entries
+    }
+
     /// Render as a JSON object string, kinds sorted by name:
     /// `{"kind":{"ns":...,"count":...},...}`.
     pub fn to_json(&self) -> String {

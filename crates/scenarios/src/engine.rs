@@ -41,7 +41,7 @@ use dcmaint_faults::{
     RepairAction, RootCause,
 };
 use dcmaint_metrics::{CostLedger, FleetAvailability, HardwareKind};
-use dcmaint_obs::{JVal, Journal, ObsRegistry, ObsReport, TraceStore, WallProfile};
+use dcmaint_obs::{JVal, Journal, ObsRegistry, ObsReport, Prof, TraceStore, WallProfile};
 use dcmaint_robotics::{
     afflict, run_clean, run_replace, run_reseat, OpOutcome, ReplaceKind, RobotFleet, UnitHealth,
 };
@@ -130,6 +130,52 @@ impl Ev {
             Ev::OpAborted { .. } => "op-aborted",
             Ev::WatchdogFired { .. } => "watchdog-fired",
             Ev::RobotRecovered { .. } => "robot-recovered",
+        }
+    }
+
+    /// Self-profiler attribution (DESIGN §3.13): the subsystem whose
+    /// wall span this event's handler runs under, plus the static
+    /// registry keys for the deterministic per-kind and per-subsystem
+    /// counts. Subsystem names come from [`dcmaint_obs::prof::SUBSYSTEMS`].
+    fn prof_attribution(&self) -> (&'static str, &'static str, &'static str) {
+        match self {
+            Ev::Fault => ("faults", "prof/ev/fault", "prof/sub/faults"),
+            Ev::SelfHeal { .. } => ("faults", "prof/ev/self-heal", "prof/sub/faults"),
+            Ev::Flap { .. } => ("faults", "prof/ev/flap", "prof/sub/faults"),
+            Ev::LatentManifest { .. } => ("faults", "prof/ev/latent-manifest", "prof/sub/faults"),
+            Ev::BurstEnd { .. } => ("faults", "prof/ev/burst-end", "prof/sub/faults"),
+            Ev::Scripted { .. } => ("faults", "prof/ev/scripted", "prof/sub/faults"),
+            Ev::Poll => ("dcnet", "prof/ev/poll", "prof/sub/dcnet"),
+            Ev::Dispatch { .. } => ("controller", "prof/ev/dispatch", "prof/sub/controller"),
+            Ev::ProactiveScan => (
+                "controller",
+                "prof/ev/proactive-scan",
+                "prof/sub/controller",
+            ),
+            Ev::ProactiveOpen { .. } => (
+                "controller",
+                "prof/ev/proactive-open",
+                "prof/sub/controller",
+            ),
+            Ev::PredictiveScan => (
+                "controller",
+                "prof/ev/predictive-scan",
+                "prof/sub/controller",
+            ),
+            Ev::PredictiveLabel { .. } => (
+                "controller",
+                "prof/ev/predictive-label",
+                "prof/sub/controller",
+            ),
+            Ev::RepairStart { .. } => ("robotics", "prof/ev/repair-start", "prof/sub/robotics"),
+            Ev::RepairDone { .. } => ("robotics", "prof/ev/repair-done", "prof/sub/robotics"),
+            Ev::OpStalled { .. } => ("robotics", "prof/ev/op-stalled", "prof/sub/robotics"),
+            Ev::OpAborted { .. } => ("robotics", "prof/ev/op-aborted", "prof/sub/robotics"),
+            Ev::RobotRecovered { .. } => {
+                ("robotics", "prof/ev/robot-recovered", "prof/sub/robotics")
+            }
+            Ev::VerifyDone { .. } => ("tickets", "prof/ev/verify-done", "prof/sub/tickets"),
+            Ev::WatchdogFired { .. } => ("recovery", "prof/ev/watchdog-fired", "prof/sub/recovery"),
         }
     }
 }
@@ -282,6 +328,10 @@ pub struct Engine {
     pub(crate) registry: ObsRegistry,
     pub(crate) traces: TraceStore,
     pub(crate) wall: WallProfile,
+    /// Engine self-profiler (DESIGN §3.13): per-subsystem wall spans
+    /// plus the enabled flag the deterministic `prof/…` registry hooks
+    /// key off. Inert unless `cfg.obs.profiling`.
+    pub(crate) prof: Prof,
     // Owned event queue — part of the engine so checkpoints capture
     // pending events alongside the state they will act on.
     pub(crate) sched: Scheduler<Ev>,
@@ -371,7 +421,10 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
         avail: FleetAvailability::new(SimTime::ZERO),
         costs: CostLedger::new(),
         zones: ZoneLedger::new(SafetyConfig::default()),
-        registry: if cfg.obs.enabled {
+        // The registry is the meeting point of the two observability
+        // switches: journal/trace counters need `enabled`, the
+        // self-profiler's `prof/…` counts need `profiling`.
+        registry: if cfg.obs.enabled || cfg.obs.profiling {
             ObsRegistry::enabled()
         } else {
             ObsRegistry::disabled()
@@ -385,6 +438,11 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
             WallProfile::enabled()
         } else {
             WallProfile::disabled()
+        },
+        prof: if cfg.obs.profiling {
+            Prof::enabled()
+        } else {
+            Prof::disabled()
         },
         journal,
         cfg,
@@ -495,14 +553,27 @@ impl Engine {
         // Temporarily take the queue so handlers can schedule into it
         // while borrowing the rest of the engine mutably.
         let mut sched = std::mem::replace(&mut self.sched, Scheduler::with_horizon(SimTime::ZERO));
-        let out = if let Some(Fired { at, payload, .. }) = sched.pop() {
+        // Self-profiler: the pop (tombstone skipping included) is the
+        // scheduler's own share of the loop. Every prof call below is a
+        // no-op returning `None` when profiling is off.
+        let t_pop = self.prof.start();
+        let popped = sched.pop();
+        self.prof.record("sched", t_pop);
+        let out = if let Some(Fired { at, payload, .. }) = popped {
             // Stamp the journal clock once per dispatch; emitters never
             // thread `now` through their signatures.
             self.journal.set_now(at);
             let kind = payload.kind_name();
+            let (sub, ev_key, sub_key) = payload.prof_attribution();
+            if self.prof.is_enabled() {
+                self.registry.inc(ev_key);
+                self.registry.inc(sub_key);
+            }
+            let t_sub = self.prof.start();
             let t0 = self.wall.start();
             self.handle(payload, at, &mut sched);
             self.wall.record(kind, t0);
+            self.prof.record(sub, t_sub);
             Some((at, kind))
         } else {
             None
@@ -579,6 +650,9 @@ impl Engine {
     /// runtime components and propagate transitions to telemetry and
     /// availability.
     fn recompute_link(&mut self, l: LinkId, now: SimTime) {
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/dcnet/link-recompute");
+        }
         let rt = &self.links_rt[l.index()];
         let burst = rt.burst_loss.unwrap_or(0.0);
         let precursor = if rt.pending_latent.is_some() {
@@ -706,6 +780,9 @@ impl Engine {
         sched: &mut Scheduler<Ev>,
     ) {
         let incident = self.injector.seeded_incident(l, cause);
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/faults/incident");
+        }
         self.incidents += 1;
         if from_cascade {
             self.cascade_incidents += 1;
@@ -808,6 +885,9 @@ impl Engine {
             return;
         }
         let alerts = self.telemetry.sample(&self.topo, &self.state, now);
+        if self.prof.is_enabled() {
+            self.registry.add("prof/dcnet/alert", alerts.len() as u64);
+        }
         for alert in alerts {
             let trigger = match alert.kind {
                 AlertKind::LinkDown => TicketTrigger::LinkDown,
@@ -830,6 +910,9 @@ impl Engine {
         let (id, fresh) = self.board.open(link, trigger, priority, now);
         if !fresh {
             return None;
+        }
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/tickets/open");
         }
         *self.tickets_by_trigger.entry(trigger.label()).or_insert(0) += 1;
         // Begin the incident's trace. The fault-manifest anchor gives
@@ -923,6 +1006,9 @@ impl Engine {
             self.registry.inc("defer/trough");
             sched.schedule_in(delay, Ev::Dispatch { ticket });
             return;
+        }
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/controller/decision");
         }
         let link = self.board.get(ticket).link;
         let medium = self.topo.link(link).cable.medium;
@@ -1025,6 +1111,9 @@ impl Engine {
         now: SimTime,
         sched: &mut Scheduler<Ev>,
     ) {
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/robotics/booking");
+        }
         let medium = self.topo.link(link).cable.medium;
         let rack = self.rack_of(link);
         let walk_m = self
@@ -1828,6 +1917,9 @@ impl Engine {
         if !self.cfg.recovery.enabled || self.board.get(ticket).is_closed() {
             return;
         }
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/recovery/step");
+        }
         let rack = self.rack_of(repair.link);
         let st = *self.recovery_state.entry(ticket).or_default();
         let failed_unit_usable = repair
@@ -2097,9 +2189,25 @@ impl Engine {
                     && !drained_by_active.contains(&l)
             })
             .count() as u64;
-        // Package the observability capture. `None` when disabled, so
-        // the report (and anything serialized from it) is unchanged.
-        let obs = if self.cfg.obs.enabled {
+        // Self-profiler: fold the scheduler's lifetime counters into the
+        // registry once, at the end — copying per-event would double
+        // count across checkpoint/restore boundaries. All five are
+        // functions of the deterministic event sequence.
+        if self.prof.is_enabled() {
+            let sp = self.sched.prof();
+            self.registry.add("prof/sched/scheduled", sp.scheduled);
+            self.registry
+                .add("prof/sched/dropped-horizon", sp.dropped_horizon);
+            self.registry.add("prof/sched/canceled", sp.canceled);
+            self.registry.add("prof/sched/compactions", sp.compactions);
+            self.registry.add("prof/sched/max-pending", sp.max_pending);
+        }
+        // Package the observability capture. `None` when both switches
+        // are off, so disabled-mode reports (and anything serialized
+        // from them) are unchanged. A profiling-only run carries an
+        // empty journal and no traces — just the registry and the
+        // profiler's wall spans.
+        let obs = if self.cfg.obs.enabled || self.cfg.obs.profiling {
             let (journal_emitted, journal_dropped) = self.journal.counts();
             Some(ObsReport {
                 journal: self.journal.lines(),
@@ -2112,6 +2220,7 @@ impl Engine {
                 } else {
                     None
                 },
+                prof_wall: self.prof.entries(),
             })
         } else {
             None
@@ -2638,5 +2747,100 @@ mod tests {
             obs.registry.counter("watchdog/lost-report") + obs.registry.counter("watchdog/stall"),
             r.watchdog_fires
         );
+    }
+
+    // ----- engine self-profiler (DESIGN §3.13) -----------------------
+
+    fn small_prof(seed: u64, level: AutomationLevel, days: u64) -> ScenarioConfig {
+        let mut cfg = small(seed, level, days);
+        cfg.obs = dcmaint_obs::ObsConfig::profiled();
+        cfg
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_simulation() {
+        // Same seed, profiling on vs off: every simulated quantity
+        // matches — the profiler observes the machinery, it never draws
+        // RNG or schedules events.
+        let off = run(small(15, AutomationLevel::L3, 15));
+        let on = run(small_prof(15, AutomationLevel::L3, 15));
+        assert!(off.obs.is_none());
+        let obs = on.obs.as_ref().expect("profiled run packages obs");
+        assert_eq!(off.incidents, on.incidents);
+        assert_eq!(off.tickets_fixed, on.tickets_fixed);
+        assert_eq!(off.robot_ops, on.robot_ops);
+        assert!((off.availability.availability - on.availability.availability).abs() < 1e-15);
+        // Profiling alone keeps the journal and traces off.
+        assert_eq!(obs.journal_emitted, 0);
+        assert!(obs.journal.is_empty());
+        assert!(obs.traces.is_empty());
+    }
+
+    #[test]
+    fn profiler_counts_are_deterministic_and_consistent() {
+        let a = run(small_prof(16, AutomationLevel::L3, 15));
+        let b = run(small_prof(16, AutomationLevel::L3, 15));
+        let (oa, ob) = (a.obs.unwrap(), b.obs.unwrap());
+        // Counts (the deterministic half) are byte-identical.
+        assert_eq!(oa.registry.snapshot_lines(), ob.registry.snapshot_lines());
+        // Per-kind and per-subsystem tallies decompose the same total:
+        // every delivered event is attributed exactly once on each axis.
+        let counters = oa.registry.counters_sorted();
+        let ev_total: u64 = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("prof/ev/"))
+            .map(|&(_, v)| v)
+            .sum();
+        let sub_total: u64 = counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("prof/sub/"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(ev_total > 0, "a busy run must deliver events");
+        assert_eq!(ev_total, sub_total);
+        // Every prof/sub/* key is a sanctioned subsystem name.
+        for (k, _) in counters.iter().filter(|(k, _)| k.starts_with("prof/sub/")) {
+            let sub = &k["prof/sub/".len()..];
+            assert!(
+                dcmaint_obs::prof::SUBSYSTEMS.contains(&sub),
+                "unsanctioned subsystem {sub}"
+            );
+        }
+        // Scheduler lifetime counters made it into the registry, and
+        // delivered events cannot exceed accepted schedules.
+        let scheduled = oa.registry.counter("prof/sched/scheduled");
+        assert!(
+            scheduled >= ev_total,
+            "scheduled {scheduled} < delivered {ev_total}"
+        );
+        assert!(oa.registry.counter("prof/sched/max-pending") > 0);
+        // Hot-path site counters fired.
+        assert!(oa.registry.counter("prof/dcnet/link-recompute") > 0);
+        assert!(oa.registry.counter("prof/tickets/open") > 0);
+        assert!(oa.registry.counter("prof/robotics/booking") > 0);
+        // The timing half exists (nondeterministic values; only shape
+        // is asserted): spans per subsystem, shares summing to ~100%.
+        assert!(!oa.prof_wall.is_empty());
+        let span_total: u64 = oa.prof_wall.iter().map(|e| e.2).sum();
+        // Every delivered event opened a subsystem span, plus one
+        // "sched" span per pop (including the final drain pop).
+        assert!(span_total > ev_total);
+        let shares = dcmaint_obs::prof::shares(&oa.prof_wall);
+        let pct: f64 = shares.iter().map(|&(_, p)| p).sum();
+        assert!((pct - 100.0).abs() < 1e-6, "shares sum to {pct}");
+    }
+
+    #[test]
+    fn profiler_off_leaves_zero_prof_entries() {
+        // The zero-overhead contract: an obs-enabled (but unprofiled)
+        // run's registry carries no prof/ keys at all.
+        let r = run(small_obs(17, AutomationLevel::L3, 10));
+        let obs = r.obs.as_ref().unwrap();
+        assert!(obs
+            .registry
+            .counters_sorted()
+            .iter()
+            .all(|(k, _)| !k.starts_with(dcmaint_obs::prof::PROF_PREFIX)));
+        assert!(obs.prof_wall.is_empty());
     }
 }

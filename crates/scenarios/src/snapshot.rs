@@ -527,6 +527,37 @@ impl Engine {
         Ok(eng)
     }
 
+    /// Bench-harness hook: capture a snapshot under the self-profiler's
+    /// "ckpt" wall span, recording deterministic encode count and
+    /// payload size as `prof/ckpt/…` registry entries. The increments
+    /// land *after* encoding so the snapshot never includes its own
+    /// bookkeeping.
+    pub fn profiled_snapshot(&mut self) -> Snapshot {
+        let t = self.prof.start();
+        let snap = self.snapshot();
+        self.prof.record("ckpt", t);
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/ckpt/encode");
+            self.registry
+                .add("prof/ckpt/bytes", snap.payload.len() as u64);
+        }
+        snap
+    }
+
+    /// Bench-harness hook: decode `snap` into a throwaway engine under
+    /// the "ckpt" wall span. The restored engine is dropped — this
+    /// measures decode cost without disturbing the running simulation.
+    pub fn profiled_restore(&mut self, snap: &Snapshot) -> Result<(), CkptError> {
+        let t = self.prof.start();
+        let restored = Engine::restore(self.cfg.clone(), snap)?;
+        self.prof.record("ckpt", t);
+        drop(restored);
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/ckpt/decode");
+        }
+        Ok(())
+    }
+
     fn save_state(&self, enc: &mut Enc) {
         // Scheduler: clock, counters, and the pending queue in canonical
         // (time, seq) order, tombstones included so a restored run
@@ -547,6 +578,15 @@ impl Engine {
         for k in canceled {
             enc.u64(k);
         }
+        // Scheduler lifetime profile counters (format v2): a restored
+        // run must report the same `prof/sched/…` totals at finish as a
+        // continuous one.
+        let sp = self.sched.prof();
+        enc.u64(sp.scheduled);
+        enc.u64(sp.dropped_horizon);
+        enc.u64(sp.canceled);
+        enc.u64(sp.compactions);
+        enc.u64(sp.max_pending);
 
         // Network data plane: per-link health/admin/loss.
         enc.usize(self.topo.link_count());
@@ -704,6 +744,13 @@ impl Engine {
             canceled.push(dec.u64()?);
         }
         self.sched = Scheduler::restore(now, seq, delivered, horizon, entries, canceled);
+        self.sched.set_prof(dcmaint_des::SchedProf {
+            scheduled: dec.u64()?,
+            dropped_horizon: dec.u64()?,
+            canceled: dec.u64()?,
+            compactions: dec.u64()?,
+            max_pending: dec.u64()?,
+        });
 
         // Network data plane.
         let nl = dec.usize()?;

@@ -250,6 +250,10 @@ pub struct EngineSweepParams {
     pub small_fabric: bool,
     /// Capture and merge the observability plane.
     pub obs: bool,
+    /// Run every job with the engine self-profiler on and merge the
+    /// per-job `prof/…` registries into one fleet profile. Independent
+    /// of `obs` — it adds no journal lines.
+    pub profiling: bool,
     /// Test hook: make plan job #i panic instead of running, to
     /// demonstrate (and test) panic containment end to end.
     pub inject_panic: Option<usize>,
@@ -274,6 +278,7 @@ impl EngineSweepParams {
             levels: AutomationLevel::ALL.to_vec(),
             small_fabric: false,
             obs: false,
+            profiling: false,
             inject_panic: None,
             manifest: None,
             resume: false,
@@ -394,7 +399,8 @@ pub struct EngineSweepOutcome {
     pub table: Table,
     /// Failed jobs, canonical order.
     pub failures: Vec<SweepFailure>,
-    /// Merged observability registry (when `obs` was on).
+    /// Merged observability registry (when `obs` or `profiling` was
+    /// on): per-job registries folded with [`ObsRegistry::merge`].
     pub registry: Option<ObsRegistry>,
     /// Concatenated journals in canonical job order, each replicate
     /// prefixed by a `{"ev":"sweep-job",…}` header line (when `obs`).
@@ -415,6 +421,9 @@ fn engine_config(p: &EngineSweepParams, level: AutomationLevel, seed: u64) -> Sc
     }
     if p.obs {
         cfg.obs = ObsConfig::enabled();
+    }
+    if p.profiling {
+        cfg.obs.profiling = true;
     }
     cfg
 }
@@ -514,7 +523,7 @@ pub fn run_engine_sweep(p: &EngineSweepParams) -> EngineSweepOutcome {
         ],
     );
     let mut failures = Vec::new();
-    let mut registry = if p.obs {
+    let mut registry = if p.obs || p.profiling {
         ObsRegistry::enabled()
     } else {
         ObsRegistry::disabled()
@@ -534,6 +543,8 @@ pub fn run_engine_sweep(p: &EngineSweepParams) -> EngineSweepOutcome {
                             level.label()
                         ));
                         journal.extend(out.journal.iter().cloned());
+                    }
+                    if p.obs || p.profiling {
                         registry.merge(&out.registry);
                     }
                     ok.push(out);
@@ -596,7 +607,11 @@ pub fn run_engine_sweep(p: &EngineSweepParams) -> EngineSweepOutcome {
     EngineSweepOutcome {
         table,
         failures,
-        registry: if p.obs { Some(registry) } else { None },
+        registry: if p.obs || p.profiling {
+            Some(registry)
+        } else {
+            None
+        },
         journal,
     }
 }
@@ -628,10 +643,29 @@ mod tests {
             levels: vec![AutomationLevel::L0, AutomationLevel::L3],
             small_fabric: true,
             obs: false,
+            profiling: false,
             inject_panic: None,
             manifest: None,
             resume: false,
         }
+    }
+
+    #[test]
+    fn merged_profile_is_byte_identical_across_worker_counts() {
+        // The self-profiler's determinism contract under the pool: the
+        // merged `prof/…` registry is a pure fold of per-job counts, so
+        // worker scheduling cannot leak into it.
+        let mut p1 = quick_params(2, 1);
+        p1.profiling = true;
+        let mut p4 = p1.clone();
+        p4.jobs = 4;
+        let a = run_engine_sweep(&p1);
+        let b = run_engine_sweep(&p4);
+        let (ra, rb) = (a.registry.unwrap(), b.registry.unwrap());
+        assert_eq!(ra.snapshot_lines(), rb.snapshot_lines());
+        assert!(ra.counter("prof/sched/scheduled") > 0);
+        // Profiling alone adds no journal lines (that is `obs`'s job).
+        assert!(a.journal.is_empty());
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl Server {
             spool,
             fanout,
             registry: Mutex::new(ObsRegistry::enabled()),
+            profiles: Mutex::new(std::collections::BTreeMap::new()),
             inner: Mutex::new(Inner {
                 queue,
                 jobs,
@@ -398,6 +399,10 @@ fn status(shared: &Arc<Shared>, w: &mut TcpStream) {
     let _ = json_response(w, 200, &body);
 }
 
+/// `GET /metrics`: serve-plane counters as plain `name value` lines
+/// (the historical format scripts grep), followed by Prometheus-style
+/// text exposition of the engine profiles of finished `profile=1` jobs
+/// — counters and histograms labeled by job id.
 fn metrics(shared: &Arc<Shared>, w: &mut TcpStream) {
     let reg = shared.registry.lock().expect("registry lock");
     let mut body = String::new();
@@ -405,5 +410,40 @@ fn metrics(shared: &Arc<Shared>, w: &mut TcpStream) {
         body.push_str(&format!("{name} {value}\n"));
     }
     drop(reg);
+
+    let profiles = shared.profiles.lock().expect("profiles lock");
+    if !profiles.is_empty() {
+        body.push_str(
+            "# HELP selfmaint_engine_prof_total engine self-profiler counter of a finished job\n\
+             # TYPE selfmaint_engine_prof_total counter\n",
+        );
+        for (id, p) in profiles.iter() {
+            for (name, v) in &p.counters {
+                body.push_str(&format!(
+                    "selfmaint_engine_prof_total{{job=\"{id}\",key=\"{name}\"}} {v}\n"
+                ));
+            }
+        }
+        let any_hist = profiles.values().any(|p| !p.histograms.is_empty());
+        if any_hist {
+            body.push_str(
+                "# HELP selfmaint_engine_hist_seconds engine histogram (simulated seconds)\n\
+                 # TYPE selfmaint_engine_hist_seconds summary\n",
+            );
+            for (id, p) in profiles.iter() {
+                for (family, key, total, sum_us) in &p.histograms {
+                    let labels = format!("job=\"{id}\",family=\"{family}\",key=\"{key}\"");
+                    body.push_str(&format!(
+                        "selfmaint_engine_hist_seconds_count{{{labels}}} {total}\n"
+                    ));
+                    body.push_str(&format!(
+                        "selfmaint_engine_hist_seconds_sum{{{labels}}} {}\n",
+                        *sum_us as f64 / 1e6
+                    ));
+                }
+            }
+        }
+    }
+    drop(profiles);
     let _ = respond(w, 200, "text/plain", &[], body.as_bytes());
 }

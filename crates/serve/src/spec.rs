@@ -54,6 +54,9 @@ pub struct JobSpec {
     pub quick: bool,
     /// Capture the observability plane (and stream its journal live).
     pub obs: bool,
+    /// Run with the engine self-profiler on; the daemon exposes the
+    /// job's `prof/…` counters on `GET /metrics` once it finishes.
+    pub profile: bool,
     /// Panic-injection hook.
     pub boom: Boom,
     /// Test hook: sleep this many wall milliseconds per checkpoint
@@ -73,6 +76,7 @@ impl JobSpec {
             seeds: 1,
             quick: false,
             obs: false,
+            profile: false,
             boom: Boom::None,
             slow_ms: 0,
         }
@@ -88,6 +92,7 @@ impl JobSpec {
         let mut seeds = 1u64;
         let mut quick = false;
         let mut obs = false;
+        let mut profile = false;
         let mut boom = Boom::None;
         let mut slow_ms = 0u64;
         for tok in line.split_whitespace() {
@@ -113,6 +118,7 @@ impl JobSpec {
                 "seeds" => seeds = parse_num(k, v)?,
                 "quick" => quick = parse_bool(k, v)?,
                 "obs" => obs = parse_bool(k, v)?,
+                "profile" => profile = parse_bool(k, v)?,
                 "boom" => {
                     boom = match v {
                         "none" => Boom::None,
@@ -156,6 +162,7 @@ impl JobSpec {
             seeds,
             quick,
             obs,
+            profile,
             boom,
             slow_ms,
         })
@@ -165,7 +172,7 @@ impl JobSpec {
     /// is the identity.
     pub fn to_line(&self) -> String {
         format!(
-            "kind={} level={} days={} seed={} seeds={} quick={} obs={} boom={} slow_ms={}",
+            "kind={} level={} days={} seed={} seeds={} quick={} obs={} profile={} boom={} slow_ms={}",
             match self.kind {
                 JobKind::Run => "run",
                 JobKind::Sweep => "sweep",
@@ -176,6 +183,7 @@ impl JobSpec {
             self.seeds,
             u8::from(self.quick),
             u8::from(self.obs),
+            u8::from(self.profile),
             match self.boom {
                 Boom::None => "none",
                 Boom::Once => "once",
@@ -203,6 +211,9 @@ impl JobSpec {
         }
         if self.obs {
             cfg.obs = ObsConfig::enabled();
+        }
+        if self.profile {
+            cfg.obs.profiling = true;
         }
         cfg
     }
@@ -248,6 +259,7 @@ mod tests {
                 seeds: 3,
                 quick: true,
                 obs: true,
+                profile: true,
                 boom: Boom::None,
                 slow_ms: 0,
             },
@@ -273,7 +285,7 @@ mod tests {
         assert_eq!((s.days, s.seed, s.seeds), (3, 42, 1));
         assert_eq!(
             s.to_line(),
-            "kind=run level=L2 days=3 seed=42 seeds=1 quick=0 obs=0 boom=none slow_ms=0"
+            "kind=run level=L2 days=3 seed=42 seeds=1 quick=0 obs=0 profile=0 boom=none slow_ms=0"
         );
     }
 

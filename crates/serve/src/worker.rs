@@ -97,6 +97,19 @@ pub struct Inner {
     pub worker_stopped: bool,
 }
 
+/// The engine profile of one finished `profile=1` job, held in memory
+/// for `/metrics` exposition. Not persisted: a daemon restart recovers
+/// the job as done without re-running it, so its profile is gone —
+/// scrape before restarting, or resubmit the job.
+#[derive(Debug, Clone)]
+pub struct JobProfile {
+    /// Counter name → value, in registry (sorted) order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram `(family, key, observation count, sum in simulated
+    /// microseconds)`, in registry order.
+    pub histograms: Vec<(String, String, u64, u64)>,
+}
+
 /// State shared by the front end, the worker, and the supervisor.
 pub struct Shared {
     /// Daemon knobs.
@@ -107,6 +120,8 @@ pub struct Shared {
     pub fanout: Arc<Fanout>,
     /// Serve-plane counters (`/metrics`).
     pub registry: Mutex<ObsRegistry>,
+    /// Engine profiles of finished `profile=1` jobs, by job id.
+    pub profiles: Mutex<BTreeMap<u64, JobProfile>>,
     /// Job table + queue.
     pub inner: Mutex<Inner>,
     /// Wakes the worker on submit/drain.
@@ -118,6 +133,34 @@ impl Shared {
     pub fn count(&self, name: &'static str) {
         self.registry.lock().expect("registry lock").inc(name);
     }
+}
+
+/// Hold a finished job's engine-profile registry for `/metrics`.
+fn stash_profile(shared: &Arc<Shared>, id: u64, reg: &ObsRegistry) {
+    let counters = reg
+        .counters_sorted()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    let histograms = reg
+        .histograms_sorted()
+        .into_iter()
+        .map(|h| {
+            (
+                h.family.to_string(),
+                h.key.to_string(),
+                h.total,
+                h.sum.as_micros(),
+            )
+        })
+        .collect();
+    shared.profiles.lock().expect("profiles lock").insert(
+        id,
+        JobProfile {
+            counters,
+            histograms,
+        },
+    );
 }
 
 /// How one attempt ended.
@@ -331,6 +374,11 @@ fn attempt_run(shared: &Arc<Shared>, job: &JobRecord, attempts: u32) -> Attempt 
     }
     while eng.step_event().is_some() {}
     let mut report = eng.finish_report();
+    if spec.profile {
+        if let Some(obs) = report.obs.as_ref() {
+            stash_profile(shared, job.id, &obs.registry);
+        }
+    }
     publish_tail(shared, &journal, seen);
     let mut out = serde_json::to_string_pretty(&report.summary_json()).expect("serializable");
     out.push('\n');
@@ -370,6 +418,7 @@ fn attempt_sweep(shared: &Arc<Shared>, job: &JobRecord) -> Attempt {
         },
         small_fabric: spec.quick,
         obs: spec.obs,
+        profiling: spec.profile,
         inject_panic: None,
         manifest: Some(
             shared
@@ -381,6 +430,11 @@ fn attempt_sweep(shared: &Arc<Shared>, job: &JobRecord) -> Attempt {
         resume: true,
     };
     let outcome = run_engine_sweep(&params);
+    if spec.profile {
+        if let Some(reg) = &outcome.registry {
+            stash_profile(shared, job.id, reg);
+        }
+    }
     for line in &outcome.journal {
         shared.fanout.publish(line.clone());
     }

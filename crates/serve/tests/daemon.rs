@@ -329,3 +329,53 @@ fn sweep_jobs_run_and_render_the_level_table() {
     server.request_shutdown();
     server.join();
 }
+
+#[test]
+fn profiled_job_exposes_prometheus_engine_counters() {
+    let server = Server::start(config("prof")).expect("start");
+    let port = server.port();
+
+    let id =
+        client::submit(port, "kind=run level=L3 days=2 quick=1 profile=1 seed=11").expect("submit");
+    assert_eq!(client::wait_terminal(port, id, DEADLINE).unwrap(), "done");
+
+    let metrics = client::request(port, "GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200);
+    let body = &metrics.body;
+    // The historical plain `name value` lines come first, unchanged.
+    assert!(body.contains("serve/jobs-done 1"), "{body}");
+    // Then the Prometheus exposition of the finished job's profile.
+    assert!(
+        body.contains("# TYPE selfmaint_engine_prof_total counter"),
+        "{body}"
+    );
+    let needle =
+        format!("selfmaint_engine_prof_total{{job=\"{id}\",key=\"prof/sched/scheduled\"}} ");
+    let line = body
+        .lines()
+        .find(|l| l.starts_with(&needle))
+        .unwrap_or_else(|| panic!("missing {needle} in:\n{body}"));
+    let v: u64 = line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("counter value");
+    assert!(v > 0, "scheduled counter should be nonzero: {line}");
+
+    // A job without profile=1 contributes no exposition lines.
+    let plain = client::submit(port, QUICK).expect("submit");
+    assert_eq!(
+        client::wait_terminal(port, plain, DEADLINE).unwrap(),
+        "done"
+    );
+    let metrics2 = client::request(port, "GET", "/metrics", "").unwrap();
+    assert!(
+        !metrics2.body.contains(&format!("job=\"{plain}\"")),
+        "unprofiled job leaked into /metrics:\n{}",
+        metrics2.body
+    );
+
+    server.request_shutdown();
+    server.join();
+}

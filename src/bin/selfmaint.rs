@@ -31,6 +31,22 @@
 //!                  # every finished job to DIR; --resume skips jobs
 //!                  # already present there and the merged output stays
 //!                  # byte-identical to an uninterrupted sweep
+//! selfmaint profile [--level L3] [--days 14] [--seed 42] [--seeds 1]
+//!                  [--quick] [--json] [--top 8] [--out BENCH_engine.json]
+//!                  [--baseline PATH] [--threshold 20] [--report-only]
+//!                  # engine self-profiler: run one E1 scenario cell per
+//!                  # seed with the obs::prof profiler on, print the
+//!                  # per-subsystem wall-share table and the top-K
+//!                  # event-kind counts, and write the standing
+//!                  # BENCH_engine.json artifact (events/sec, wall per
+//!                  # simulated day, peak RSS, span shares, queue
+//!                  # high-water, host metadata). --baseline compares
+//!                  # against a previous artifact and exits 1 when
+//!                  # events/sec regressed more than --threshold percent
+//!                  # (--report-only downgrades that to a warning).
+//!                  # Unlike `run`/`sweep`, profile stdout carries wall
+//!                  # timings and is NOT byte-reproducible; the
+//!                  # deterministic subtree of the artifact is
 //! selfmaint bisect [--level L3] [--days 12] [--seed 42] [--seed-b S]
 //!                  [--interval-days 2] [--quick] [--out PATH]
 //!                  # divergence bisector: advance two runs checkpoint by
@@ -67,6 +83,7 @@
 
 #![forbid(unsafe_code)]
 
+use selfmaint::bench::{run_profile, BenchReport, ProfileParams};
 use selfmaint::ckpt::Snapshot;
 use selfmaint::control::{advise, ControllerConfig};
 use selfmaint::metrics::{fnum, nines, Align, Table};
@@ -109,6 +126,11 @@ const SUBCOMMANDS: &[Subcommand] = &[
         "sweep",
         "seed-replicated level sweep on the worker pool; resumable",
         cmd_sweep,
+    ),
+    (
+        "profile",
+        "engine self-profiler: span shares, hot counters, BENCH_engine.json",
+        cmd_profile,
     ),
     (
         "bisect",
@@ -607,6 +629,7 @@ fn cmd_sweep(args: &[String]) {
         levels,
         small_fabric: quick,
         obs,
+        profiling: flag(args, "--profile"),
         inject_panic,
         manifest,
         resume,
@@ -659,20 +682,32 @@ fn cmd_sweep(args: &[String]) {
 }
 
 /// Measure sweep wall-clock scaling at 1/2/4/8 workers and write
-/// `BENCH_sweep.json`. Like `--bench-obs`, the numbers are inherently
-/// nondeterministic, so they go to a side file and stderr only — the
-/// deterministic stdout is produced before this runs. The stdout bytes
-/// of every worker count are also compared here, turning the bench into
-/// a determinism check as a side effect.
+/// `BENCH_sweep.json` (a [`BenchReport`]). Like `--bench-obs`, the
+/// timings are inherently nondeterministic, so they go to the side file
+/// and stderr only — the deterministic stdout is produced before this
+/// runs. Every worker count runs with the engine self-profiler on; the
+/// per-worker `prof/…` registries fold into one merged profile that
+/// lands in the report's `deterministic` subtree, and both the stdout
+/// bytes and the merged profile are compared across worker counts,
+/// turning the bench into a determinism check as a side effect.
 fn bench_sweep(p: &EngineSweepParams) {
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut runs = Vec::new();
+    let scenario = format!(
+        "{} level(s) × {} seed(s), {}d, seed={}",
+        p.levels.len(),
+        p.seeds,
+        p.days,
+        p.base_seed
+    );
+    let mut report = BenchReport::new("sweep", &scenario);
     let mut base_wall = 0.0_f64;
     let mut base_bytes: Option<String> = None;
+    let mut merged: Option<selfmaint::obs::ObsRegistry> = None;
     let mut identical = true;
+    let mut profile_identical = true;
     for workers in [1usize, 2, 4, 8] {
         let mut pw = p.clone();
         pw.jobs = workers;
+        pw.profiling = true;
         // lint:allow(wall-clock): --bench-sweep wall timing is measurement-only and lands in BENCH_sweep.json, never on deterministic stdout
         let t0 = std::time::Instant::now();
         let out = run_engine_sweep(&pw);
@@ -685,29 +720,232 @@ fn bench_sweep(p: &EngineSweepParams) {
             }
             Some(b) => identical &= *b == bytes,
         }
+        let profile = out.registry.expect("profiling was on");
+        match &merged {
+            None => merged = Some(profile),
+            Some(first) => {
+                profile_identical &= first.snapshot_lines() == profile.snapshot_lines();
+            }
+        }
         let speedup = if wall > 0.0 { base_wall / wall } else { 0.0 };
         eprintln!("  {workers} worker(s): {wall:.3}s wall ({speedup:.2}x vs 1)");
-        runs.push(format!(
-            "{{\"workers\":{workers},\"wall_s\":{wall:.6},\"speedup\":{speedup:.4}}}"
-        ));
+        report.timing.insert(format!("wall-s/{workers}"), wall);
+        report.timing.insert(format!("speedup/{workers}"), speedup);
     }
-    let json = format!(
-        "{{\"bench\":\"sweep\",\"host_cores\":{host_cores},\"days\":{},\
-         \"seeds\":{},\"levels\":{},\"jobs_identical_stdout\":{identical},\
-         \"runs\":[{}]}}\n",
-        p.days,
-        p.seeds,
-        p.levels.len(),
-        runs.join(",")
+    for (name, v) in merged.expect("at least one run").counters_sorted() {
+        report.deterministic.insert(name.to_string(), v);
+    }
+    report
+        .deterministic
+        .insert("jobs-identical-stdout".to_string(), u64::from(identical));
+    report.deterministic.insert(
+        "profile-identical".to_string(),
+        u64::from(profile_identical),
     );
-    std::fs::write("BENCH_sweep.json", json).unwrap_or_else(|e| {
+    report.host.insert(
+        "cores".to_string(),
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .to_string(),
+    );
+    std::fs::write("BENCH_sweep.json", report.to_json()).unwrap_or_else(|e| {
         eprintln!("cannot write BENCH_sweep.json: {e}");
         std::process::exit(1);
     });
-    eprintln!("wall-clock scaling written to BENCH_sweep.json");
+    eprintln!("wall-clock scaling + merged profile written to BENCH_sweep.json");
     if !identical {
         eprintln!("DETERMINISM VIOLATION: stdout bytes differ across worker counts");
         std::process::exit(1);
+    }
+    if !profile_identical {
+        eprintln!("DETERMINISM VIOLATION: merged profile differs across worker counts");
+        std::process::exit(1);
+    }
+}
+
+/// `selfmaint profile`: the engine self-profiler. Runs one E1 scenario
+/// cell per seed with `obs::prof` on, prints the per-subsystem wall
+/// share table and top-K event-kind counts, and writes the standing
+/// `BENCH_engine.json` artifact. Unlike `run`/`sweep`, stdout here
+/// carries wall timings and is *not* byte-reproducible; the artifact's
+/// `deterministic` subtree is, and CI diffs exactly that.
+fn cmd_profile(args: &[String]) {
+    let p = ProfileParams {
+        level: parse_level(opt(args, "--level").unwrap_or("L3")),
+        days: parse_opt_or_exit(args, "--days", 14),
+        base_seed: parse_opt_or_exit(args, "--seed", 42),
+        seeds: parse_opt_or_exit(args, "--seeds", 1),
+        quick: flag(args, "--quick"),
+    };
+    if p.seeds == 0 || p.days == 0 {
+        eprintln!("--seeds and --days must be at least 1");
+        std::process::exit(2);
+    }
+    let top: usize = parse_opt_or_exit(args, "--top", 8);
+    let out_path = opt(args, "--out")
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+
+    eprintln!("profiling {}…", p.scenario_label());
+    let out = run_profile(&p);
+    let report = &out.report;
+
+    if flag(args, "--json") {
+        print!("{}", report.to_json());
+    } else {
+        let mut t = Table::new(
+            &format!("engine profile — {}", p.scenario_label()),
+            &[
+                ("subsystem", Align::Left),
+                ("spans", Align::Right),
+                ("wall ms", Align::Right),
+                ("share", Align::Right),
+            ],
+        );
+        for (sub, pct) in &out.shares {
+            let (_, ns, spans) = out
+                .prof_wall
+                .iter()
+                .find(|(s, _, _)| s == sub)
+                .expect("every share has a span row");
+            t.row(vec![
+                sub.to_string(),
+                spans.to_string(),
+                format!("{:.3}", *ns as f64 / 1e6),
+                format!("{pct:.1}%"),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+        let mut ev = Table::new(
+            &format!("event kinds (top {top} of {})", out.event_kinds.len()),
+            &[("event", Align::Left), ("count", Align::Right)],
+        );
+        for (kind, n) in out.event_kinds.iter().take(top) {
+            ev.row(vec![kind.clone(), n.to_string()]);
+        }
+        print!("{}", ev.render());
+        println!();
+        println!(
+            "events: {}   events/sec: {:.0}   wall/sim-day: {:.3}s   \
+             queue high-water: {}   peak RSS: {:.1} MiB",
+            out.events,
+            report.timing["events-per-sec"],
+            report.timing["wall-per-sim-day-s"],
+            report.deterministic["queue-high-water"],
+            report.timing["peak-rss-bytes"] / (1024.0 * 1024.0),
+        );
+    }
+
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("engine profile written to {out_path}");
+
+    if let Some(base_path) = opt(args, "--baseline") {
+        let threshold: f64 = parse_opt_or_exit(args, "--threshold", 20.0);
+        compare_baseline(report, base_path, threshold, flag(args, "--report-only"));
+    }
+}
+
+/// The `--baseline` compare mode: delta table against a previous
+/// `BENCH_engine.json`, exit 1 past the regression threshold unless
+/// `--report-only` (CI runs report-only — timings on shared runners are
+/// too noisy to gate on, but the delta still lands in the log).
+fn compare_baseline(current: &BenchReport, path: &str, threshold: f64, report_only: bool) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {path}: {e}");
+        std::process::exit(1);
+    });
+    let base = BenchReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("baseline {path} is not a BenchReport: {e}");
+        std::process::exit(1);
+    });
+    if base.schema != current.schema {
+        eprintln!(
+            "baseline schema v{} != current v{} — deltas may be meaningless",
+            base.schema, current.schema
+        );
+    }
+    if base.scenario != current.scenario {
+        eprintln!(
+            "baseline ran {:?}, current ran {:?} — comparing different scenarios",
+            base.scenario, current.scenario
+        );
+    }
+
+    let mut t = Table::new(
+        &format!("vs baseline {path}"),
+        &[
+            ("metric", Align::Left),
+            ("baseline", Align::Right),
+            ("current", Align::Right),
+            ("delta", Align::Right),
+        ],
+    );
+    let mut regressions = Vec::new();
+    // (key, higher-is-better, gates-the-exit). RSS is informational:
+    // allocator noise makes it a bad gate.
+    for (key, higher_is_better, gates) in [
+        ("events-per-sec", true, true),
+        ("wall-per-sim-day-s", false, true),
+        ("peak-rss-bytes", false, false),
+    ] {
+        let (Some(b), Some(c)) = (base.timing.get(key), current.timing.get(key)) else {
+            continue;
+        };
+        if *b <= 0.0 {
+            continue;
+        }
+        let delta_pct = 100.0 * (c - b) / b;
+        t.row(vec![
+            key.to_string(),
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+            format!("{delta_pct:+.1}%"),
+        ]);
+        let regressed = if higher_is_better {
+            delta_pct < -threshold
+        } else {
+            delta_pct > threshold
+        };
+        if gates && regressed {
+            regressions.push(format!("{key} {delta_pct:+.1}%"));
+        }
+    }
+    print!("{}", t.render());
+
+    let drifted: Vec<&String> = base
+        .deterministic
+        .keys()
+        .chain(current.deterministic.keys())
+        .filter(|k| base.deterministic.get(*k) != current.deterministic.get(*k))
+        .collect();
+    if drifted.is_empty() {
+        eprintln!("deterministic fields match the baseline exactly");
+    } else {
+        eprintln!(
+            "{} deterministic field(s) differ from the baseline (different \
+             scenario/seed, or a behavior change): {}",
+            drifted.len(),
+            drifted
+                .iter()
+                .take(6)
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
+
+    if !regressions.is_empty() {
+        let what = regressions.join(", ");
+        if report_only {
+            eprintln!("REGRESSION past {threshold}% (report-only): {what}");
+        } else {
+            eprintln!("REGRESSION past {threshold}%: {what}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -807,7 +1045,10 @@ mod tests {
         let names: Vec<&str> = SUBCOMMANDS.iter().map(|(n, _, _)| *n).collect();
         assert_eq!(
             names,
-            ["run", "advise", "topo", "levels", "trace", "sweep", "bisect", "lint", "serve"],
+            [
+                "run", "advise", "topo", "levels", "trace", "sweep", "profile", "bisect", "lint",
+                "serve"
+            ],
             "subcommand surface changed — update this test and the crate docs"
         );
         let mut dedup = names.clone();

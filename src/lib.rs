@@ -43,6 +43,7 @@
 //! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
 //! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11, sweep orchestration |
 //! | [`serve`] | `dcmaint-serve` | crash-tolerant maintenance-plane daemon: durable job queue, supervised worker, live journal fan-out |
+//! | [`bench`](mod@bench) | `dcmaint-bench` | `BenchReport` perf-artifact schema + the `selfmaint profile` engine self-profiling harness |
 //!
 //! ## Examples (`cargo run --example …`)
 //!
@@ -58,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dcmaint_bench as bench;
 pub use dcmaint_ckpt as ckpt;
 pub use dcmaint_dcnet as net;
 pub use dcmaint_des as des;

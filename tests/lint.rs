@@ -5,6 +5,8 @@
 
 use std::path::Path;
 
+use dcmaint_lint::{classify, lexer, walk, FileKind};
+
 #[test]
 fn workspace_is_lint_clean() {
     // CARGO_MANIFEST_DIR of the root package is the workspace root.
@@ -20,4 +22,62 @@ fn workspace_is_lint_clean() {
         outcome.files > 100,
         "walk found too few files — wrong root?"
     );
+}
+
+/// The wall-clock allow-audit: `lint:allow(wall-clock)` keeps the lint
+/// itself quiet, but every sanctioned consumer is *named here*, so a
+/// new `Instant::now`/`SystemTime` site cannot slip in behind a copied
+/// allow marker — it has to be added to this list in review. The
+/// sanctioned set is the `obs::wall` sanctuary (the one module allowed
+/// to read the clock), the daemon edges (attempt budgets, client
+/// timeouts, serve bench), and the profiling/bench harnesses whose
+/// measurements land only in `BENCH_*.json` and stderr.
+#[test]
+fn wall_clock_consumers_are_exactly_the_sanctioned_set() {
+    const SANCTUARY: &str = "crates/obs/src/wall.rs";
+    const SANCTIONED: &[&str] = &[
+        "crates/bench/src/profile.rs",
+        "crates/obs/src/wall.rs",
+        "crates/serve/src/bench.rs",
+        "crates/serve/src/client.rs",
+        "crates/serve/src/worker.rs",
+        "src/bin/selfmaint.rs",
+    ];
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut consumers = Vec::new();
+    for rel in walk::workspace_files(root).expect("workspace walk") {
+        // The lint itself skips tests and benches; the audit matches.
+        if matches!(classify(&rel), FileKind::Test | FileKind::Bench) {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel)).expect("readable source");
+        // Scan over comment/literal-blanked source, exactly like the
+        // lint — pattern strings in the lint's own tables don't count.
+        let scan = lexer::scan(&src);
+        if ["Instant::now", "SystemTime"]
+            .iter()
+            .any(|p| scan.blanked.contains(p))
+        {
+            consumers.push(rel);
+        }
+    }
+    consumers.sort();
+    assert_eq!(
+        consumers, SANCTIONED,
+        "the set of wall-clock consumers changed — if the new site is \
+         legitimate (measurement-only, off the deterministic stdout), add \
+         a lint:allow(wall-clock) with a reason AND list it here"
+    );
+
+    for rel in SANCTIONED {
+        if *rel == SANCTUARY {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(rel)).expect("readable source");
+        assert!(
+            src.contains("lint:allow(wall-clock)"),
+            "{rel} reads the wall clock without a lint:allow(wall-clock) marker"
+        );
+    }
 }

@@ -16,6 +16,7 @@ fn tiny(seeds: u64, jobs: usize, obs: bool) -> EngineSweepParams {
         levels: vec![AutomationLevel::L0, AutomationLevel::L4],
         small_fabric: true,
         obs,
+        profiling: false,
         inject_panic: None,
         manifest: None,
         resume: false,

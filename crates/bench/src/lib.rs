@@ -14,6 +14,11 @@
 //!   `obs::prof` engine profiler on, merges the per-seed `prof/…`
 //!   registries, and derives events/sec, per-subsystem wall shares,
 //!   queue high-water, and peak RSS into a [`BenchReport`].
+//! * [`twin`](mod@twin) — the twin-planner harness behind
+//!   `selfmaint plan`: ladder + twin arms per seed, planner accounting
+//!   (decisions/forks/commits, availability delta in ppb) in the
+//!   deterministic subtree and decision throughput/latency from the
+//!   `prof/twin` wall spans in the timing subtree (`BENCH_twin.json`).
 //! * Two Criterion bench targets: `benches/experiments.rs` (one group
 //!   per experiment E1–E11, CI-sized parameters of the exact runners
 //!   that regenerate EXPERIMENTS.md) and `benches/kernel.rs`
@@ -27,7 +32,9 @@
 
 pub mod profile;
 pub mod report;
+pub mod twin;
 
 pub use dcmaint_scenarios::experiments;
 pub use profile::{peak_rss_bytes, run_profile, ProfileOutcome, ProfileParams};
 pub use report::{parse_json, BenchReport, SCHEMA_VERSION};
+pub use twin::{run_twin_bench, TwinBenchOutcome, TwinBenchParams};

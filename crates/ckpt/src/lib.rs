@@ -39,7 +39,9 @@ pub const MAGIC: [u8; 8] = *b"DCMCKPT\0";
 
 /// Current snapshot format version. Bump on any byte-layout change.
 /// v2: scheduler section carries the `SchedProf` lifetime counters.
-pub const VERSION: u32 = 2;
+/// v3: engine payload carries the twin-planner section (committed
+/// plans, planned-episode set, decision/fork counters).
+pub const VERSION: u32 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

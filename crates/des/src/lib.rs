@@ -60,6 +60,6 @@ mod sched;
 mod time;
 
 pub use dist::{Dist, DistError};
-pub use rng::{SimRng, Stream};
+pub use rng::{RngRestore, SimRng, Stream, StreamRestore};
 pub use sched::{EventKey, Fired, SchedProf, SchedStats, Scheduler};
 pub use time::{SimDuration, SimTime};

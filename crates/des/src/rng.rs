@@ -93,6 +93,64 @@ impl SimRng {
     }
 }
 
+/// How a freshly reconstructed [`Stream`] is brought to its recorded
+/// position (see [`Stream::restore_pos`]).
+///
+/// A checkpoint pins a stream as `(label, index, draws)`. Getting a new
+/// stream *to* `draws` admits three strategies with very different costs:
+///
+/// * [`StreamRestore::Replay`] — burn `draws` raw generator steps.
+///   O(draws): correct everywhere, and the only option when all we have
+///   is the serialized position (disk restore).
+/// * [`StreamRestore::Adopt`] — clone a live donor stream that is
+///   *already at* the target position. O(1): the in-memory fork path,
+///   where the parent engine still holds every stream. This is the
+///   "cache the counted position at fork time" fix — deep-horizon forks
+///   no longer pay linear replay.
+/// * [`StreamRestore::Reseed`] — re-derive the stream from a different
+///   root at draw 0, discarding the recorded position. O(1): used for
+///   twin branches, which deliberately diverge from the parent's noise
+///   while staying fully seeded (same branch root → same sequence).
+#[derive(Debug, Clone, Copy)]
+pub enum StreamRestore<'a> {
+    /// Replay the recorded number of raw draws (O(draws)).
+    Replay,
+    /// Clone this donor, which must match `(label, index)` and already
+    /// sit exactly at the target draw count (O(1)).
+    Adopt(&'a Stream),
+    /// Re-derive `(label, index)` under this root, at draw 0 (O(1)).
+    Reseed(&'a SimRng),
+}
+
+/// A component-level restore mode: the same three strategies as
+/// [`StreamRestore`], but carrying a component-typed donor (`D`, e.g. a
+/// tech pool holding several streams) or an owned namespaced reseed
+/// root. Components project it per stream via [`RngRestore::stream`].
+#[derive(Debug, Clone, Copy)]
+pub enum RngRestore<'a, D> {
+    /// Replay recorded draw counts (O(draws) per stream).
+    Replay,
+    /// Adopt each stream from this live donor component (O(1)).
+    Adopt(&'a D),
+    /// Re-derive each stream fresh under this namespaced root (O(1)).
+    Reseed(SimRng),
+}
+
+impl<'a, D> RngRestore<'a, D> {
+    /// Project the component mode onto one of its streams: `pick`
+    /// selects the matching stream out of the donor component.
+    pub fn stream<'s>(&'s self, pick: impl FnOnce(&'a D) -> &'s Stream) -> StreamRestore<'s>
+    where
+        'a: 's,
+    {
+        match self {
+            RngRestore::Replay => StreamRestore::Replay,
+            RngRestore::Adopt(donor) => StreamRestore::Adopt(pick(donor)),
+            RngRestore::Reseed(root) => StreamRestore::Reseed(root),
+        }
+    }
+}
+
 /// One deterministic random stream. Wraps `SmallRng` and adds the sampling
 /// helpers the simulation needs.
 ///
@@ -146,6 +204,36 @@ impl Stream {
         while self.draws < target {
             self.inner.next_u64();
             self.draws += 1;
+        }
+    }
+
+    /// Bring this stream to the recorded position `target` using the
+    /// chosen strategy (see [`StreamRestore`] for the cost model).
+    ///
+    /// # Panics
+    /// `Replay` panics if `target < self.draws()` (cannot rewind).
+    /// `Adopt` panics if the donor's `(label, index)` differ or the
+    /// donor is not exactly at `target` draws — adopting a mispositioned
+    /// donor would silently break the restore ≡ continuous contract.
+    pub fn restore_pos(&mut self, target: u64, how: StreamRestore<'_>) {
+        match how {
+            StreamRestore::Replay => self.fast_forward_to(target),
+            StreamRestore::Adopt(donor) => {
+                assert_eq!(
+                    (donor.label.as_str(), donor.index),
+                    (self.label.as_str(), self.index),
+                    "adopt donor is a different stream"
+                );
+                assert_eq!(
+                    donor.draws, target,
+                    "adopt donor for {:?}[{}] sits at draw {} — snapshot says {}",
+                    self.label, self.index, donor.draws, target
+                );
+                *self = donor.clone();
+            }
+            StreamRestore::Reseed(root) => {
+                *self = root.stream(&self.label.clone(), self.index);
+            }
         }
     }
 
@@ -445,6 +533,104 @@ mod tests {
         for _ in 0..32 {
             assert_eq!(restored.next_u64(), live.next_u64());
         }
+    }
+
+    #[test]
+    fn adopt_restore_is_equivalent_to_replay() {
+        // The O(1) fork path must land byte-for-byte where the O(draws)
+        // replay path lands. Golden contract for the in-memory fork.
+        let mut live = SimRng::root(42).stream("golden", 7);
+        for _ in 0..1000 {
+            live.uniform();
+        }
+        let pos = live.draws();
+
+        let mut replayed = SimRng::root(42).stream("golden", 7);
+        replayed.restore_pos(pos, StreamRestore::Replay);
+        let mut adopted = SimRng::root(42).stream("golden", 7);
+        adopted.restore_pos(pos, StreamRestore::Adopt(&live));
+
+        assert_eq!(adopted.draws(), pos);
+        for _ in 0..64 {
+            let want = replayed.next_u64();
+            assert_eq!(adopted.next_u64(), want);
+            assert_eq!(live.next_u64(), want);
+        }
+    }
+
+    #[test]
+    fn adopt_restore_golden_values() {
+        // Pin the adopted sequence against the same golden table the
+        // replay path pins, at an absolute position: draws 0..4 consumed
+        // by the donor, adoption resumes at the 3rd golden value.
+        let mut donor = SimRng::root(42).stream("golden", 7);
+        donor.next_u64();
+        donor.next_u64();
+        let mut s = SimRng::root(42).stream("golden", 7);
+        s.restore_pos(2, StreamRestore::Adopt(&donor));
+        assert_eq!(s.next_u64(), 5603479199768057760);
+        assert_eq!(s.next_u64(), 12343104976382023101);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stream")]
+    fn adopt_refuses_foreign_donor() {
+        let donor = SimRng::root(42).stream("other", 7);
+        let mut s = SimRng::root(42).stream("golden", 7);
+        s.restore_pos(0, StreamRestore::Adopt(&donor));
+    }
+
+    #[test]
+    #[should_panic(expected = "sits at draw")]
+    fn adopt_refuses_mispositioned_donor() {
+        let mut donor = SimRng::root(42).stream("golden", 7);
+        donor.next_u64();
+        let mut s = SimRng::root(42).stream("golden", 7);
+        s.restore_pos(3, StreamRestore::Adopt(&donor));
+    }
+
+    #[test]
+    fn reseed_restore_rederives_under_new_root() {
+        let mut s = SimRng::root(42).stream("golden", 7);
+        for _ in 0..17 {
+            s.next_u64();
+        }
+        let branch_root = SimRng::root(42).child("twin").child("3");
+        s.restore_pos(17, StreamRestore::Reseed(&branch_root));
+        // Position resets: reseeded streams start their own sequence.
+        assert_eq!(s.draws(), 0);
+        assert_eq!(s.label(), "golden");
+        assert_eq!(s.stream_index(), 7);
+        let mut want = branch_root.stream("golden", 7);
+        for _ in 0..32 {
+            assert_eq!(s.next_u64(), want.next_u64());
+        }
+    }
+
+    #[test]
+    fn component_mode_projects_per_stream() {
+        struct Donor {
+            a: Stream,
+        }
+        let mut donor = Donor {
+            a: SimRng::root(5).stream("a", 0),
+        };
+        donor.a.next_u64();
+        let how: RngRestore<'_, Donor> = RngRestore::Adopt(&donor);
+        let mut s = SimRng::root(5).stream("a", 0);
+        s.restore_pos(1, how.stream(|d| &d.a));
+        assert_eq!(s.draws(), 1);
+
+        let reseed: RngRestore<'_, Donor> = RngRestore::Reseed(SimRng::root(6));
+        s.restore_pos(1, reseed.stream(|d| &d.a));
+        assert_eq!(s.draws(), 0);
+        let mut want = SimRng::root(6).stream("a", 0);
+        assert_eq!(s.next_u64(), want.next_u64());
+
+        let replay: RngRestore<'_, Donor> = RngRestore::Replay;
+        let mut r = SimRng::root(5).stream("a", 0);
+        r.restore_pos(1, replay.stream(|d| &d.a));
+        assert_eq!(r.draws(), 1);
     }
 
     #[test]

@@ -289,6 +289,20 @@ impl<E> Scheduler<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// The next event that *will* fire — `(timestamp, &payload)` —
+    /// without popping it or advancing the clock. Skips tombstones and
+    /// respects the horizon exactly like [`Scheduler::pop`], so a
+    /// non-`None` peek is a promise about the next pop. This is the
+    /// hook decision-point planners use to inspect the upcoming event
+    /// before the engine commits to it.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        self.skip_canceled();
+        match self.heap.peek() {
+            Some(e) if e.at <= self.horizon => Some((e.at, &e.payload)),
+            _ => None,
+        }
+    }
+
     /// Pop the next event, advancing `now` to its timestamp. Returns `None`
     /// when the queue is empty or the next event lies beyond the horizon (in
     /// which case `now` advances to the horizon).

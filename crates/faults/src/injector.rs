@@ -130,15 +130,22 @@ impl FaultInjector {
         enc.u64(self.manifests.draws());
     }
 
-    /// Fast-forward a freshly constructed injector to checkpointed stream
-    /// positions. Inverse of [`FaultInjector::save`].
+    /// Reposition a freshly constructed injector at checkpointed stream
+    /// positions. Inverse of [`FaultInjector::save`]. `rng` picks how:
+    /// replay the recorded draw counts (disk restore), adopt the live
+    /// donor injector's streams (in-memory fork), or reseed under a
+    /// branch root (twin planning).
     pub fn restore_draws(
         &mut self,
         dec: &mut dcmaint_ckpt::Dec,
+        rng: dcmaint_des::RngRestore<'_, FaultInjector>,
     ) -> Result<(), dcmaint_ckpt::CkptError> {
-        self.arrivals.fast_forward_to(dec.u64()?);
-        self.causes.fast_forward_to(dec.u64()?);
-        self.manifests.fast_forward_to(dec.u64()?);
+        self.arrivals
+            .restore_pos(dec.u64()?, rng.stream(|i| &i.arrivals));
+        self.causes
+            .restore_pos(dec.u64()?, rng.stream(|i| &i.causes));
+        self.manifests
+            .restore_pos(dec.u64()?, rng.stream(|i| &i.manifests));
         Ok(())
     }
 

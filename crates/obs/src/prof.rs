@@ -46,6 +46,7 @@ pub const SUBSYSTEMS: &[&str] = &[
     "tickets",    // ticket open/verify/close bookkeeping
     "recovery",   // watchdog + degradation ladder
     "ckpt",       // snapshot encode/decode
+    "twin",       // digital-twin planning: fork fan-out + branch scoring
 ];
 
 /// Scoped wall timing per subsystem. A thin wrapper over

@@ -465,8 +465,15 @@ impl RobotFleet {
     }
 
     /// Restore checkpointed state into a freshly constructed fleet.
-    /// Inverse of [`RobotFleet::save`].
-    pub fn restore(&mut self, dec: &mut dcmaint_ckpt::Dec) -> Result<(), dcmaint_ckpt::CkptError> {
+    /// Inverse of [`RobotFleet::save`]. `rng` picks how the stream
+    /// position is reinstated: replay the recorded draw count (disk
+    /// restore), adopt the live donor fleet's stream (in-memory fork),
+    /// or reseed under a branch root (twin planning).
+    pub fn restore(
+        &mut self,
+        dec: &mut dcmaint_ckpt::Dec,
+        rng: dcmaint_des::RngRestore<'_, RobotFleet>,
+    ) -> Result<(), dcmaint_ckpt::CkptError> {
         let n = dec.usize()?;
         let mut units = Vec::with_capacity(n);
         for _ in 0..n {
@@ -483,7 +490,7 @@ impl RobotFleet {
             });
         }
         self.units = units;
-        self.rng.fast_forward_to(dec.u64()?);
+        self.rng.restore_pos(dec.u64()?, rng.stream(|f| &f.rng));
         Ok(())
     }
 

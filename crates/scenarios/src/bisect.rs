@@ -4,10 +4,10 @@
 //! patch vs a baseline, or a `nondet_demo` run vs a clean one) advance
 //! checkpoint interval by checkpoint interval. At each boundary both
 //! state hashes ([`Engine::state_hash`]) are compared. The first
-//! mismatching boundary brackets the bug to one interval; both engines
-//! are then restored from their last-agreeing snapshots and stepped
-//! event-by-event in lockstep until the hashes split, naming the first
-//! divergent event.
+//! mismatching boundary brackets the bug to one interval; in-memory
+//! forks ([`Engine::fork`]) kept at the last-agreeing boundary are then
+//! stepped event-by-event in lockstep until the hashes split, naming
+//! the first divergent event.
 //!
 //! The per-event replay re-executes the interval, so genuinely
 //! *nondeterministic* code (the thing the bisector hunts) may diverge at
@@ -15,7 +15,7 @@
 //! pathological cases, not at all. The report distinguishes "interval
 //! found, event pinned" from "interval found, replay did not reproduce".
 
-use dcmaint_ckpt::{CkptError, Snapshot, StateHash};
+use dcmaint_ckpt::{CkptError, StateHash};
 use dcmaint_des::{SimDuration, SimTime};
 
 use crate::config::ScenarioConfig;
@@ -126,8 +126,13 @@ impl BisectReport {
 
 /// Bisect two configurations: advance both runs interval-by-interval,
 /// find the first checkpoint boundary where their state hashes differ,
-/// then replay that interval event-by-event from the last-agreeing
-/// snapshots to pin the first divergent event.
+/// then replay that interval event-by-event from in-memory forks kept
+/// at the last-agreeing boundary to pin the first divergent event.
+///
+/// The kept boundary state is an [`Engine::fork`] rather than a full
+/// [`Engine::snapshot`]: the fork adopts the live RNG streams (O(1) per
+/// stream instead of replaying every recorded draw), so tight bisection
+/// intervals late in long runs no longer pay O(draws) per boundary.
 pub fn bisect(
     cfg_a: ScenarioConfig,
     cfg_b: ScenarioConfig,
@@ -139,8 +144,8 @@ pub fn bisect(
 
     let mut checkpoints = Vec::new();
     let mut last_agreeing: Option<SimTime> = None;
-    let mut snap_a: Snapshot = a.snapshot();
-    let mut snap_b: Snapshot = b.snapshot();
+    let mut keep_a: Engine = a.fork();
+    let mut keep_b: Engine = b.fork();
 
     let mut t = SimTime::ZERO;
     loop {
@@ -151,7 +156,7 @@ pub fn bisect(
         };
         checkpoints.push(cp);
         if !cp.agree() {
-            let event = replay_interval(&cfg_a, &cfg_b, &snap_a, &snap_b, t)?;
+            let event = replay_interval(keep_a, keep_b, t);
             return Ok(BisectReport {
                 checkpoints,
                 last_agreeing,
@@ -160,8 +165,8 @@ pub fn bisect(
             });
         }
         last_agreeing = Some(t);
-        snap_a = a.snapshot();
-        snap_b = b.snapshot();
+        keep_a = a.fork();
+        keep_b = b.fork();
         if t >= SimTime::ZERO + duration {
             return Ok(BisectReport {
                 checkpoints,
@@ -176,28 +181,20 @@ pub fn bisect(
     }
 }
 
-/// Restore both runs at the last agreeing boundary and step them in
-/// lockstep until their hashes split, at most up to `until`'s events.
-fn replay_interval(
-    cfg_a: &ScenarioConfig,
-    cfg_b: &ScenarioConfig,
-    snap_a: &Snapshot,
-    snap_b: &Snapshot,
-    until: SimTime,
-) -> Result<Option<DivergentEvent>, CkptError> {
-    let mut a = Engine::restore(cfg_a.clone(), snap_a)?;
-    let mut b = Engine::restore(cfg_b.clone(), snap_b)?;
+/// Step both forks (kept at the last agreeing boundary) in lockstep
+/// until their hashes split, at most up to `until`'s events.
+fn replay_interval(mut a: Engine, mut b: Engine, until: SimTime) -> Option<DivergentEvent> {
     let mut index = 0u64;
     loop {
         let ea = a.step_event();
         let eb = b.step_event();
         index += 1;
         if a.state_hash() != b.state_hash() {
-            return Ok(Some(DivergentEvent {
+            return Some(DivergentEvent {
                 index,
                 event_a: ea,
                 event_b: eb,
-            }));
+            });
         }
         let past = |e: &Option<(SimTime, &'static str)>| match e {
             Some((at, _)) => *at > until,
@@ -206,7 +203,7 @@ fn replay_interval(
         if past(&ea) && past(&eb) {
             // Replayed beyond the bracketing boundary without the hashes
             // splitting: the divergence did not reproduce.
-            return Ok(None);
+            return None;
         }
     }
 }

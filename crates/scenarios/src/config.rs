@@ -142,6 +142,12 @@ pub struct ScenarioConfig {
     /// makes zero allocations and zero RNG draws, so seeded runs stay
     /// byte-identical to the pre-obs engine.
     pub obs: ObsConfig,
+    /// Repair-decision policy: the plain degradation ladder, or
+    /// twin-guided model-predictive planning (fork the engine at each
+    /// dispatch decision, rehearse the candidates, commit the argmax —
+    /// DESIGN §3.14). `Ladder` is the default and leaves the engine
+    /// byte-identical to the pre-twin code.
+    pub twin: dcmaint_twin::TwinPolicy,
     /// **Deliberately breaks determinism** (demo/testing only): routes
     /// fault targeting through a `HashMap`, whose iteration order varies
     /// per map instance. Exists so `selfmaint bisect` has a reproducible
@@ -197,6 +203,7 @@ impl ScenarioConfig {
             robot_faults: RobotFaultConfig::default(),
             recovery: RecoveryPolicy::default(),
             obs: ObsConfig::default(),
+            twin: dcmaint_twin::TwinPolicy::Ladder,
             nondet_demo: false,
         }
     }

@@ -31,6 +31,7 @@
 //!   ignored if the link has since changed state.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use dcmaint_dcnet::routing::pair_connectivity;
 use dcmaint_dcnet::{AdminState, LinkHealth, LinkId, NetState, NodeId, RackLoc, Topology};
@@ -49,6 +50,7 @@ use dcmaint_telemetry::{extract, AlertKind, TelemetryPlane, FEATURE_DIM};
 use dcmaint_tickets::{
     AttemptRecord, Priority, TechnicianPool, TicketBoard, TicketId, TicketState, TicketTrigger,
 };
+use dcmaint_twin::{BranchOutcome, Candidate, TwinConfig, TwinPlan, TwinPolicy};
 use maintctl::{
     ClaimId, DrainDecision, Executor, MaintenanceController, PreContactAnnouncement, RecoveryState,
     RecoveryStep, SafetyConfig, ZoneActor, ZoneLedger,
@@ -323,6 +325,22 @@ pub struct Engine {
     pub(crate) dispatch_msgs_lost: u64,
     pub(crate) ports_flagged: u64,
     pub(crate) recovery_queued: u64,
+    // Twin planner (DESIGN §3.14) — all inert when cfg.twin is Ladder.
+    /// Committed plans awaiting consumption by `on_dispatch`. Entries
+    /// persist across drain-defer retries of the same open episode and
+    /// are dropped on close or verify-reopen.
+    pub(crate) twin_plans: BTreeMap<TicketId, TwinPlan>,
+    /// Tickets already planned this open episode (one fork fan-out per
+    /// decision point, not per re-dispatch).
+    pub(crate) twin_planned: std::collections::BTreeSet<TicketId>,
+    /// Decision points evaluated; also the branch-RNG namespace index.
+    pub(crate) twin_decisions: u64,
+    /// Total branch engines forked.
+    pub(crate) twin_forks: u64,
+    /// Decisions where a non-ladder branch won and a plan was committed.
+    pub(crate) twin_committed: u64,
+    /// Σ predicted availability of the chosen branch (per decision).
+    pub(crate) twin_pred_avail_sum: f64,
     // Observability plane (all inert when cfg.obs is disabled).
     pub(crate) journal: Journal,
     pub(crate) registry: ObsRegistry,
@@ -488,6 +506,12 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
         dispatch_msgs_lost: 0,
         ports_flagged: 0,
         recovery_queued: 0,
+        twin_plans: BTreeMap::new(),
+        twin_planned: std::collections::BTreeSet::new(),
+        twin_decisions: 0,
+        twin_forks: 0,
+        twin_committed: 0,
+        twin_pred_avail_sum: 0.0,
     };
     // Seed the recurring processes.
     if eng.cfg.organic_faults {
@@ -550,6 +574,11 @@ impl Engine {
     /// kind. `None` once the queue is drained — the scheduler clamps its
     /// clock to the horizon on that final pop.
     pub fn step_event(&mut self) -> Option<(SimTime, &'static str)> {
+        // Twin-guided planning hook: must run *before* the scheduler is
+        // temporarily taken, because planning forks the whole engine
+        // (which serializes `self.sched`). Peek → plan → pop is atomic
+        // within this one call.
+        self.maybe_plan_dispatch();
         // Temporarily take the queue so handlers can schedule into it
         // while borrowing the rest of the engine mutably.
         let mut sched = std::mem::replace(&mut self.sched, Scheduler::with_horizon(SimTime::ZERO));
@@ -607,6 +636,182 @@ impl Engine {
     pub fn finish_report(self) -> RunReport {
         let horizon = SimTime::ZERO + self.cfg.duration;
         self.finish(horizon)
+    }
+
+    // ----- twin planning (DESIGN §3.14) -----------------------------
+
+    /// If the next event is a dispatch decision for a ticket this open
+    /// episode hasn't planned yet, fork the engine, rehearse the
+    /// candidate decisions a virtual horizon ahead, and commit the
+    /// argmax branch as a [`TwinPlan`]. Planning consumes zero parent
+    /// RNG draws (branches reseed under a decision-indexed namespace),
+    /// so twin-on runs stay byte-reproducible and jobs-invariant.
+    fn maybe_plan_dispatch(&mut self) {
+        let TwinPolicy::TwinGuided(tcfg) = &self.cfg.twin else {
+            return;
+        };
+        let tcfg = tcfg.clone();
+        let (now, ticket) = match self.sched.peek() {
+            Some((at, &Ev::Dispatch { ticket })) => (at, ticket),
+            _ => return,
+        };
+        if self.board.get(ticket).is_closed()
+            || self.active.contains_key(&ticket)
+            || self.twin_planned.contains(&ticket)
+        {
+            return;
+        }
+        // One fan-out per open episode: drain-defer retries of the same
+        // ticket reuse the committed plan instead of re-forking.
+        self.twin_planned.insert(ticket);
+        let t = self.prof.start();
+        self.plan_dispatch(ticket, now, &tcfg);
+        self.prof.record("twin", t);
+    }
+
+    /// Enumerate candidates from inspectable state (no RNG draws), fork
+    /// one branch engine per candidate on the sweep pool, score each at
+    /// the horizon, and commit the winner.
+    fn plan_dispatch(&mut self, ticket: TicketId, now: SimTime, tcfg: &TwinConfig) {
+        let link = self.board.get(ticket).link;
+        let medium = self.topo.link(link).cable.medium;
+        let priority = self.board.get(ticket).priority;
+
+        // Candidate 0 is always the pure ladder; `choose` breaks ties
+        // toward it, so twin-guided never loses to the ladder on its
+        // own predictions.
+        let mut cands = vec![Candidate::ladder()];
+        for a in RepairAction::LADDER {
+            if a.applicable(medium) {
+                cands.push(Candidate {
+                    action: Some(a),
+                    human: false,
+                    defer_until: None,
+                });
+            }
+        }
+        // Robot-vs-human: only worth a branch when robots are deployed
+        // and the ladder hasn't already forced humans.
+        if tcfg.explore_executors
+            && (self.cfg.robots_per_row > 0 || self.cfg.hall_pool.is_some())
+            && !self.forced_human.contains(&ticket)
+        {
+            cands.push(Candidate {
+                action: None,
+                human: true,
+                defer_until: None,
+            });
+        }
+        // Act-now vs defer-to-trough: routine work on a still-carrying
+        // link dispatched outside the utilization trough. The target
+        // hour is a deterministic scan of the diurnal curve — no RNG.
+        let gate = self.controller.config().trough_gate;
+        if tcfg.explore_defer
+            && priority == Priority::P2
+            && self.state.link(link).health.carries_traffic()
+            && diurnal_utilization(now) >= gate
+        {
+            let mut target = now + SimDuration::from_hours(1);
+            for h in 1..=24u64 {
+                let t = now + SimDuration::from_hours(h);
+                if diurnal_utilization(t) < gate {
+                    target = t;
+                    break;
+                }
+            }
+            cands.push(Candidate {
+                action: None,
+                human: false,
+                defer_until: Some(target),
+            });
+        }
+        cands.truncate(tcfg.max_branches.max(1));
+
+        let until = (now + tcfg.horizon).min(SimTime::ZERO + self.cfg.duration);
+        let decision = self.twin_decisions;
+        let samples = tcfg.samples.max(1);
+        // Sample 0 is the *foresight* world: the branch replays the
+        // parent's RNG tape, so it rehearses the future this run will
+        // actually live. Samples 1.. reseed under
+        // `twin/<decision>/<sample>` — alternative futures that hedge
+        // the plan against tape-specific luck. Within every sample all
+        // candidates share one namespace (common random numbers), so
+        // scores differ through the decision, never through the draw.
+        let decision_root = SimRng::root(self.cfg.seed)
+            .child("twin")
+            .child(&decision.to_string());
+        let bytes = Arc::new(self.fork_bytes());
+        let mut base_cfg = self.cfg.clone();
+        // Branches never recurse into planning.
+        base_cfg.twin = TwinPolicy::Ladder;
+
+        let mut jobs = Vec::with_capacity(cands.len() * samples);
+        for (i, cand) in cands.iter().enumerate() {
+            for s in 0..samples {
+                let bytes = Arc::clone(&bytes);
+                let cfg = base_cfg.clone();
+                let cand = cand.clone();
+                let root = (s > 0).then(|| decision_root.child(&s.to_string()));
+                jobs.push(move || {
+                    let mut child = match &root {
+                        None => Engine::from_fork_bytes_replayed(cfg, &bytes),
+                        Some(root) => Engine::from_fork_bytes_reseeded(cfg, &bytes, root),
+                    }
+                    .expect("twin fork bytes decode");
+                    if i != 0 {
+                        child.twin_plans.insert(ticket, TwinPlan::from(&cand));
+                    }
+                    child.run_until(until);
+                    BranchOutcome {
+                        availability: child
+                            .avail
+                            .summarize(until, child.topo.link_count())
+                            .availability,
+                        cost: child.costs.total(),
+                        open_tickets: child.board.open_count() as f64,
+                        incidents: child.incidents,
+                    }
+                });
+            }
+        }
+        let rollouts: Vec<Option<BranchOutcome>> = dcmaint_sweep::run_jobs(jobs, tcfg.jobs.max(1))
+            .into_iter()
+            .map(|r| r.ok())
+            .collect();
+        // Canonical merge: rollouts come back candidate-major regardless
+        // of worker scheduling; collapse each candidate's samples to the
+        // mean outcome.
+        let outcomes: Vec<Option<BranchOutcome>> =
+            rollouts.chunks(samples).map(dcmaint_twin::mean).collect();
+
+        let best = dcmaint_twin::choose(&outcomes, &tcfg.weights, tcfg.commit_margin);
+        self.twin_decisions += 1;
+        self.twin_forks += (cands.len() * samples) as u64;
+        if let Some(o) = &outcomes[best] {
+            self.twin_pred_avail_sum += o.availability;
+        }
+        if best != 0 {
+            self.twin_plans.insert(ticket, TwinPlan::from(&cands[best]));
+            self.twin_committed += 1;
+        }
+        self.journal.set_now(now);
+        self.journal.emit(
+            "twin-plan",
+            &[
+                ("ticket", JVal::U(ticket.0)),
+                ("branches", JVal::U(cands.len() as u64)),
+                ("chosen", JVal::U(best as u64)),
+            ],
+        );
+        if self.prof.is_enabled() {
+            self.registry.inc("prof/twin/decision");
+            for _ in 0..cands.len() * samples {
+                self.registry.inc("prof/twin/fork");
+            }
+            if best != 0 {
+                self.registry.inc("prof/twin/commit");
+            }
+        }
     }
 
     // ----- event dispatch -------------------------------------------
@@ -975,12 +1180,30 @@ impl Engine {
         if self.board.get(ticket).is_closed() || self.active.contains_key(&ticket) {
             return;
         }
+        // A committed twin plan (DESIGN §3.14) steers this dispatch. A
+        // defer-to-trough plan reschedules once; any plan suppresses the
+        // built-in trough heuristic below — the twin already rehearsed
+        // the timing question against the forked futures.
+        if let Some(t) = self.twin_plans.get(&ticket).and_then(|p| p.defer_until) {
+            if t > now {
+                if let Some(p) = self.twin_plans.get_mut(&ticket) {
+                    p.defer_until = None;
+                }
+                self.trough_deferred.insert(ticket);
+                self.traces.event(ticket.0, now, "await-trough");
+                self.registry.inc("defer/twin");
+                sched.schedule(t, Ev::Dispatch { ticket });
+                return;
+            }
+        }
+        let twin_planned = self.twin_plans.contains_key(&ticket);
         // §2 timing optimization: routine (P2) work waits for the
         // diurnal trough when the policy asks for it, so its drains cost
         // the least capacity. Deferred at most once per ticket, and
         // never for hard-down links.
         let cfg_ctl = self.controller.config();
-        if cfg_ctl.trough_scheduling
+        if !twin_planned
+            && cfg_ctl.trough_scheduling
             && self.board.get(ticket).priority == Priority::P2
             && diurnal_utilization(now) >= cfg_ctl.trough_gate
             && self
@@ -1015,11 +1238,22 @@ impl Engine {
         let recent = self
             .board
             .recent_actions(link, now, self.controller.memory_window());
-        let action = match self.forced_action.get(&ticket) {
-            Some(&a) if a.applicable(medium) => a,
+        // Precedence: recovery-ladder forced action (safety) > twin
+        // plan (optimization) > the controller's degradation ladder.
+        let twin_action = self
+            .twin_plans
+            .get(&ticket)
+            .and_then(|p| p.action)
+            .filter(|a| a.applicable(medium));
+        let action = match (self.forced_action.get(&ticket), twin_action) {
+            (Some(&a), _) if a.applicable(medium) => a,
+            (_, Some(a)) => a,
             _ => self.controller.decide_action(medium, &recent),
         };
         let mut executor = self.controller.executor_for(action);
+        if self.twin_plans.get(&ticket).is_some_and(|p| p.human) {
+            executor = Executor::Human;
+        }
         // The recovery ladder's human rung (and §3.4's flagged-port
         // rule after an unsafe abort): this ticket is humans-only now.
         if self.forced_human.contains(&ticket) {
@@ -1684,8 +1918,11 @@ impl Engine {
         let link = self.board.get(ticket).link;
         if self.links_rt[link.index()].incident.is_some() {
             // Still broken: climb the ladder. Drop any forced action so
-            // the escalation engine decides.
+            // the escalation engine decides, and any twin plan so the
+            // reopened episode gets a fresh decision point.
             self.forced_action.remove(&ticket);
+            self.twin_plans.remove(&ticket);
+            self.twin_planned.remove(&ticket);
             self.traces.event_note(ticket.0, now, "triage", "reopen");
             sched.schedule_now(Ev::Dispatch { ticket });
             return;
@@ -1735,6 +1972,8 @@ impl Engine {
         self.recovery_state.remove(&ticket);
         self.exclude_unit.remove(&ticket);
         self.forced_human.remove(&ticket);
+        self.twin_plans.remove(&ticket);
+        self.twin_planned.remove(&ticket);
     }
 
     // ----- maintenance-plane fault handling ---------------------------
@@ -2225,6 +2464,21 @@ impl Engine {
         } else {
             None
         };
+        // Twin planner stats: `None` under the plain ladder so existing
+        // reports (and their serialized forms) are byte-unchanged.
+        let twin = match &self.cfg.twin {
+            TwinPolicy::Ladder => None,
+            TwinPolicy::TwinGuided(_) => Some(crate::report::TwinReport {
+                decisions: self.twin_decisions,
+                forks: self.twin_forks,
+                committed: self.twin_committed,
+                mean_predicted_availability: if self.twin_decisions > 0 {
+                    self.twin_pred_avail_sum / self.twin_decisions as f64
+                } else {
+                    1.0
+                },
+            }),
+        };
         RunReport {
             duration: self.cfg.duration,
             ended_at: horizon,
@@ -2268,6 +2522,7 @@ impl Engine {
             zone_claims_leaked,
             drains_leaked,
             obs,
+            twin,
         }
     }
 }

@@ -161,6 +161,23 @@ pub struct RunReport {
     /// when the run enabled the obs plane. `None` keeps disabled-mode
     /// reports — and their JSON — byte-identical to the pre-obs engine.
     pub obs: Option<ObsReport>,
+    /// Twin-planner stats (DESIGN §3.14): present only when the run
+    /// used the `TwinGuided` policy. `None` keeps ladder reports — and
+    /// their JSON — byte-identical to the pre-twin engine.
+    pub twin: Option<TwinReport>,
+}
+
+/// Digital-twin planner accounting for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwinReport {
+    /// Decision points where the planner forked and scored branches.
+    pub decisions: u64,
+    /// Total branch engines forked across all decisions.
+    pub forks: u64,
+    /// Decisions where a non-ladder branch won (a plan was committed).
+    pub committed: u64,
+    /// Mean predicted availability of the chosen branch at its horizon.
+    pub mean_predicted_availability: f64,
 }
 
 impl RunReport {
@@ -255,6 +272,19 @@ impl RunReport {
             });
             if let serde_json::Value::Object(map) = &mut j {
                 map.insert("obs".to_string(), obs_json);
+            }
+        }
+        // Ditto "twin": only when the planner ran, so ladder-mode JSON
+        // is byte-identical to the pre-twin CLI.
+        if let Some(twin) = &self.twin {
+            let twin_json = json!({
+                "decisions": twin.decisions,
+                "forks": twin.forks,
+                "committed": twin.committed,
+                "mean_predicted_availability": twin.mean_predicted_availability,
+            });
+            if let serde_json::Value::Object(map) = &mut j {
+                map.insert("twin".to_string(), twin_json);
             }
         }
         j
@@ -454,6 +484,7 @@ mod tests {
             zone_claims_leaked: 0,
             drains_leaked: 0,
             obs: None,
+            twin: None,
         };
         let j = r.summary_json();
         for key in [

@@ -24,7 +24,7 @@
 
 use dcmaint_ckpt::{fnv1a64, intern, CkptError, Dec, Enc, Snapshot, StateHash};
 use dcmaint_dcnet::{AdminState, LinkHealth, LinkId};
-use dcmaint_des::{Scheduler, SimDuration, SimTime};
+use dcmaint_des::{RngRestore, Scheduler, SimDuration, SimRng, SimTime, Stream, StreamRestore};
 use dcmaint_faults::{FlapProcess, RepairAction, RootCause};
 use dcmaint_metrics::{CostLedger, FleetAvailability};
 use dcmaint_obs::{ObsRegistry, TraceStore};
@@ -488,6 +488,24 @@ fn load_link_rt(dec: &mut Dec) -> Result<LinkRt, CkptError> {
 
 // ----- the engine snapshot itself -------------------------------------
 
+/// How [`Engine::restore_state`] reinstates RNG stream positions — the
+/// engine-level mirror of [`dcmaint_des::StreamRestore`]:
+///
+/// * `Replay` — fast-forward each freshly derived stream by its recorded
+///   draw count. O(total draws); the disk-checkpoint path.
+/// * `Adopt` — clone each stream from the live donor engine, which must
+///   sit exactly at the recorded positions. O(1) per stream; the
+///   in-memory [`Engine::fork`] path.
+/// * `Reseed` — re-derive every stream under a different root at draw 0.
+///   O(1) per stream; the twin-branch path, where branches deliberately
+///   diverge from the parent's noise while staying fully seeded.
+#[derive(Clone, Copy)]
+pub(crate) enum RestoreRng<'a> {
+    Replay,
+    Adopt(&'a Engine),
+    Reseed(&'a SimRng),
+}
+
 impl Engine {
     /// Capture the engine's complete mutable state as a versioned
     /// snapshot, restorable with [`Engine::restore`] under the same
@@ -517,10 +535,92 @@ impl Engine {
         snap.require_config(config_fingerprint(&cfg))?;
         let mut eng = Engine::new(cfg);
         let mut dec = Dec::new(&snap.payload);
-        eng.restore_state(&mut dec)?;
+        eng.restore_state(&mut dec, RestoreRng::Replay)?;
         if !dec.is_exhausted() {
             return Err(CkptError::BadTag(
                 "snapshot-trailing-bytes",
+                dec.remaining() as u64,
+            ));
+        }
+        Ok(eng)
+    }
+
+    /// Raw in-memory fork payload: the complete `save_state` encoding
+    /// with no envelope, version header, or config fingerprint. Feed it
+    /// to [`Engine::fork_from_bytes`] /
+    /// [`Engine::from_fork_bytes_reseeded`] only — disk checkpoints go
+    /// through [`Engine::snapshot`].
+    pub fn fork_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.save_state(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// In-memory fork: semantically `snapshot()` + `restore()` under the
+    /// same configuration, but skipping the envelope/hash path and
+    /// *adopting* the parent's live RNG streams instead of replaying
+    /// their recorded draw counts — O(1) per stream instead of
+    /// O(draws). The fork is byte-equivalent to the full codec path
+    /// (`fork().snapshot() == parent.snapshot()`), pinned by a test.
+    pub fn fork(&self) -> Engine {
+        let bytes = self.fork_bytes();
+        self.fork_from_bytes(&bytes).expect("fork bytes round-trip")
+    }
+
+    /// [`Engine::fork`] split in two so callers holding several forks of
+    /// one parent (e.g. the twin planner, the bisector's lockstep
+    /// replay) encode once and decode many times.
+    pub fn fork_from_bytes(&self, bytes: &[u8]) -> Result<Engine, CkptError> {
+        let mut eng = Engine::new(self.cfg.clone());
+        let mut dec = Dec::new(bytes);
+        eng.restore_state(&mut dec, RestoreRng::Adopt(self))?;
+        if !dec.is_exhausted() {
+            return Err(CkptError::BadTag(
+                "fork-trailing-bytes",
+                dec.remaining() as u64,
+            ));
+        }
+        Ok(eng)
+    }
+
+    /// Twin-branch constructor for the *foresight* sample: rebuild an
+    /// engine from fork bytes alone, replaying each stream's recorded
+    /// draw count so the branch continues on the parent's exact RNG
+    /// tape — it rehearses the future the parent will actually live
+    /// (perfect-model MPC), without borrowing the parent into the
+    /// worker closure. O(draws) fast-forward, paid per branch.
+    pub fn from_fork_bytes_replayed(
+        cfg: ScenarioConfig,
+        bytes: &[u8],
+    ) -> Result<Engine, CkptError> {
+        let mut eng = Engine::new(cfg);
+        let mut dec = Dec::new(bytes);
+        eng.restore_state(&mut dec, RestoreRng::Replay)?;
+        if !dec.is_exhausted() {
+            return Err(CkptError::BadTag(
+                "fork-trailing-bytes",
+                dec.remaining() as u64,
+            ));
+        }
+        Ok(eng)
+    }
+
+    /// Twin-branch constructor: rebuild an engine from fork bytes with
+    /// every RNG stream re-derived under `branch_root` at draw 0. The
+    /// branch deliberately diverges from the parent's noise while
+    /// staying fully seeded — the same `branch_root` always yields the
+    /// same branch, and the parent consumes zero draws.
+    pub fn from_fork_bytes_reseeded(
+        cfg: ScenarioConfig,
+        bytes: &[u8],
+        branch_root: &SimRng,
+    ) -> Result<Engine, CkptError> {
+        let mut eng = Engine::new(cfg);
+        let mut dec = Dec::new(bytes);
+        eng.restore_state(&mut dec, RestoreRng::Reseed(branch_root))?;
+        if !dec.is_exhausted() {
+            return Err(CkptError::BadTag(
+                "fork-trailing-bytes",
                 dec.remaining() as u64,
             ));
         }
@@ -718,6 +818,38 @@ impl Engine {
         enc.u64(self.ports_flagged);
         enc.u64(self.recovery_queued);
 
+        // Twin planner (format v3): committed plans, the planned-episode
+        // set, and the decision counter that namespaces branch RNG — a
+        // restored twin run must fork the same branches under the same
+        // seeds as a continuous one.
+        enc.usize(self.twin_plans.len());
+        for (&id, p) in &self.twin_plans {
+            enc.u64(id.0);
+            match p.action {
+                Some(a) => {
+                    enc.bool(true);
+                    enc.u8(a.ckpt_tag());
+                }
+                None => enc.bool(false),
+            }
+            enc.bool(p.human);
+            match p.defer_until {
+                Some(t) => {
+                    enc.bool(true);
+                    enc.u64(t.as_micros());
+                }
+                None => enc.bool(false),
+            }
+        }
+        enc.usize(self.twin_planned.len());
+        for &id in &self.twin_planned {
+            enc.u64(id.0);
+        }
+        enc.u64(self.twin_decisions);
+        enc.u64(self.twin_forks);
+        enc.u64(self.twin_committed);
+        enc.f64(self.twin_pred_avail_sum);
+
         // Observability plane (wall-clock profiling excluded: it never
         // feeds back into the simulation).
         self.journal.save(enc);
@@ -725,7 +857,7 @@ impl Engine {
         self.traces.save(enc);
     }
 
-    fn restore_state(&mut self, dec: &mut Dec) -> Result<(), CkptError> {
+    fn restore_state(&mut self, dec: &mut Dec, rng: RestoreRng<'_>) -> Result<(), CkptError> {
         // Scheduler.
         let now = SimTime::from_micros(dec.u64()?);
         let seq = dec.u64()?;
@@ -772,9 +904,33 @@ impl Engine {
         self.board = TicketBoard::load(dec)?;
         self.board.set_journal(self.journal.clone());
         self.controller.restore(dec)?;
-        self.techs.restore(dec)?;
-        self.fleet.restore(dec)?;
-        self.injector.restore_draws(dec)?;
+        // Components carrying RNG streams project the engine-level
+        // restore mode onto their own type. The reseed namespaces
+        // ("techs"/"fleet"/"faults") must match `build_engine`.
+        self.techs.restore(
+            dec,
+            match rng {
+                RestoreRng::Replay => RngRestore::Replay,
+                RestoreRng::Adopt(e) => RngRestore::Adopt(&e.techs),
+                RestoreRng::Reseed(root) => RngRestore::Reseed(root.child("techs")),
+            },
+        )?;
+        self.fleet.restore(
+            dec,
+            match rng {
+                RestoreRng::Replay => RngRestore::Replay,
+                RestoreRng::Adopt(e) => RngRestore::Adopt(&e.fleet),
+                RestoreRng::Reseed(root) => RngRestore::Reseed(root.child("fleet")),
+            },
+        )?;
+        self.injector.restore_draws(
+            dec,
+            match rng {
+                RestoreRng::Replay => RngRestore::Replay,
+                RestoreRng::Adopt(e) => RngRestore::Adopt(&e.injector),
+                RestoreRng::Reseed(root) => RngRestore::Reseed(root.child("faults")),
+            },
+        )?;
 
         // Engine-side per-link runtime state.
         let nrt = dec.usize()?;
@@ -803,13 +959,22 @@ impl Engine {
         self.costs = CostLedger::load(dec)?;
         self.zones.restore(dec)?;
 
-        // RNG substream positions.
-        self.hazard.fast_forward_to(dec.u64()?);
-        self.causes.fast_forward_to(dec.u64()?);
-        self.outcomes.fast_forward_to(dec.u64()?);
-        self.ops.fast_forward_to(dec.u64()?);
-        self.faults_rng.fast_forward_to(dec.u64()?);
-        self.recovery_rng.fast_forward_to(dec.u64()?);
+        // RNG substream positions. The engine's own streams derive
+        // straight from the scenario root, so Reseed re-derives them
+        // under the branch root directly.
+        let s = |pick: fn(&Engine) -> &Stream| match rng {
+            RestoreRng::Replay => StreamRestore::Replay,
+            RestoreRng::Adopt(e) => StreamRestore::Adopt(pick(e)),
+            RestoreRng::Reseed(root) => StreamRestore::Reseed(root),
+        };
+        self.hazard.restore_pos(dec.u64()?, s(|e| &e.hazard));
+        self.causes.restore_pos(dec.u64()?, s(|e| &e.causes));
+        self.outcomes.restore_pos(dec.u64()?, s(|e| &e.outcomes));
+        self.ops.restore_pos(dec.u64()?, s(|e| &e.ops));
+        self.faults_rng
+            .restore_pos(dec.u64()?, s(|e| &e.faults_rng));
+        self.recovery_rng
+            .restore_pos(dec.u64()?, s(|e| &e.recovery_rng));
 
         // Recovery bookkeeping.
         self.attempt_seq = dec.u64()?;
@@ -903,6 +1068,39 @@ impl Engine {
         self.ports_flagged = dec.u64()?;
         self.recovery_queued = dec.u64()?;
 
+        // Twin planner (format v3).
+        self.twin_plans.clear();
+        for _ in 0..dec.usize()? {
+            let id = TicketId(dec.u64()?);
+            let action = if dec.bool()? {
+                Some(RepairAction::from_ckpt_tag(dec.u8()?)?)
+            } else {
+                None
+            };
+            let human = dec.bool()?;
+            let defer_until = if dec.bool()? {
+                Some(SimTime::from_micros(dec.u64()?))
+            } else {
+                None
+            };
+            self.twin_plans.insert(
+                id,
+                dcmaint_twin::TwinPlan {
+                    action,
+                    human,
+                    defer_until,
+                },
+            );
+        }
+        self.twin_planned.clear();
+        for _ in 0..dec.usize()? {
+            self.twin_planned.insert(TicketId(dec.u64()?));
+        }
+        self.twin_decisions = dec.u64()?;
+        self.twin_forks = dec.u64()?;
+        self.twin_committed = dec.u64()?;
+        self.twin_pred_avail_sum = dec.f64()?;
+
         // Observability plane.
         self.journal.restore(dec)?;
         self.registry = ObsRegistry::load(dec)?;
@@ -994,5 +1192,57 @@ mod tests {
         let mut other = cfg;
         other.seed = 999;
         assert!(Engine::restore(other, &snap).is_err());
+    }
+
+    /// Satellite contract: `fork()` ≡ snapshot + restore, byte-for-byte
+    /// — the O(1) stream-adoption shortcut must land in the exact state
+    /// the full codec path would, and leave the parent untouched.
+    #[test]
+    fn fork_is_byte_equivalent_to_the_codec_path() {
+        let cfg = small(13, AutomationLevel::L3, 10);
+        let mut eng = Engine::new(cfg.clone());
+        eng.run_until(SimTime::ZERO + SimDuration::from_days(5));
+        let before = eng.snapshot();
+        let fork = eng.fork();
+        assert_eq!(
+            fork.snapshot(),
+            before,
+            "fork must be byte-equivalent to snapshot+restore"
+        );
+        assert_eq!(fork.state_hash(), eng.state_hash());
+        assert_eq!(
+            eng.snapshot(),
+            before,
+            "forking must not disturb the parent"
+        );
+        // And the fork *behaves* identically, not just encodes
+        // identically: both runs finish byte-equal.
+        let restored = Engine::restore(cfg, &before).unwrap();
+        let (mut a, mut b, mut c) = (eng, fork, restored);
+        while a.step_event().is_some() {}
+        while b.step_event().is_some() {}
+        while c.step_event().is_some() {}
+        let (ha, hb, hc) = (a.state_hash(), b.state_hash(), c.state_hash());
+        assert_eq!(ha, hb);
+        assert_eq!(ha, hc);
+    }
+
+    /// A reseeded branch is a valid engine in the same logical state but
+    /// on different noise: state matches everywhere except stream
+    /// positions, and it can run to its horizon without issue.
+    #[test]
+    fn reseeded_fork_runs_and_starts_from_the_same_state() {
+        let cfg = small(17, AutomationLevel::L3, 8);
+        let mut eng = Engine::new(cfg.clone());
+        eng.run_until(SimTime::ZERO + SimDuration::from_days(4));
+        let bytes = eng.fork_bytes();
+        let root = SimRng::root(cfg.seed).child("twin").child("0");
+        let mut branch = Engine::from_fork_bytes_reseeded(cfg, &bytes, &root).unwrap();
+        assert_eq!(branch.now(), eng.now());
+        // Same branch root twice → byte-identical branches.
+        let branch2 = Engine::from_fork_bytes_reseeded(branch.cfg.clone(), &bytes, &root).unwrap();
+        assert_eq!(branch.state_hash(), branch2.state_hash());
+        branch.run_until(SimTime::ZERO + SimDuration::from_days(6));
+        assert!(branch.now() >= SimTime::ZERO + SimDuration::from_days(4));
     }
 }

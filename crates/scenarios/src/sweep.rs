@@ -33,9 +33,9 @@ use crate::experiments::{self as exp, fdur};
 use crate::report::SweepMetrics;
 
 /// Canonical experiment order — the order the legacy binary printed in.
-pub const EXPERIMENTS: [&str; 17] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "a1",
-    "a2", "a3",
+pub const EXPERIMENTS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "a1", "a2", "a3",
 ];
 
 /// Is `name` a known experiment id?
@@ -83,7 +83,8 @@ pub fn failures_table(failures: &[SweepFailure]) -> Table {
 /// Run one experiment end to end at one seed, returning its rendered
 /// tables (E11 yields two; everything else one). Mirrors the legacy
 /// `experiments` binary dispatch exactly: E5's provisioning math is
-/// seed-free, and `quick` switches only E14 to its CI-sized variant.
+/// seed-free, and `quick` switches E14 and E15 to their CI-sized
+/// variants.
 ///
 /// Panics on an unknown name — callers validate with [`is_experiment`]
 /// first (and the pool would contain the panic anyway).
@@ -139,6 +140,14 @@ pub fn run_one(name: &str, seed: u64, quick: bool) -> Vec<Table> {
                 exp::e14::E14Params::full(seed)
             };
             vec![exp::e14::table(&exp::e14::run_experiment(&p))]
+        }
+        "e15" => {
+            let p = if quick {
+                exp::e15::E15Params::quick(seed)
+            } else {
+                exp::e15::E15Params::full(seed)
+            };
+            vec![exp::e15::table(&exp::e15::run_experiment(&p))]
         }
         "a1" => vec![exp::ablations::a1_table(&exp::ablations::run_a1(
             &exp::ablations::AblationParams::full(seed),
@@ -848,7 +857,8 @@ mod tests {
     fn is_experiment_knows_the_registry() {
         assert!(is_experiment("e1"));
         assert!(is_experiment("a3"));
-        assert!(!is_experiment("e15"));
+        assert!(is_experiment("e15"));
+        assert!(!is_experiment("e16"));
         assert!(!is_experiment("--csv"));
     }
 }

@@ -186,14 +186,22 @@ impl TechnicianPool {
     }
 
     /// Restore checkpointed state into a freshly constructed pool.
-    /// Inverse of [`TechnicianPool::save`].
-    pub fn restore(&mut self, dec: &mut dcmaint_ckpt::Dec) -> Result<(), dcmaint_ckpt::CkptError> {
+    /// Inverse of [`TechnicianPool::save`]. `rng` picks how the stream
+    /// positions are reinstated: replay from the recorded draw counts
+    /// (disk restore), adopt the live donor pool's streams (in-memory
+    /// fork), or reseed under a branch root (twin planning).
+    pub fn restore(
+        &mut self,
+        dec: &mut dcmaint_ckpt::Dec,
+        rng: dcmaint_des::RngRestore<'_, TechnicianPool>,
+    ) -> Result<(), dcmaint_ckpt::CkptError> {
         let n = dec.usize()?;
         self.busy_until = (0..n)
             .map(|_| Ok(SimTime::from_micros(dec.u64()?)))
             .collect::<Result<_, dcmaint_ckpt::CkptError>>()?;
-        self.triage.fast_forward_to(dec.u64()?);
-        self.tasks.fast_forward_to(dec.u64()?);
+        self.triage
+            .restore_pos(dec.u64()?, rng.stream(|p| &p.triage));
+        self.tasks.restore_pos(dec.u64()?, rng.stream(|p| &p.tasks));
         Ok(())
     }
 

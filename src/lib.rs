@@ -41,6 +41,7 @@
 //! | [`topomaint`] | `dcmaint-topomaint` | self-maintainability metric |
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
 //! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
+//! | [`twin`] | `dcmaint-twin` | digital-twin forking: model-predictive repair planning policy |
 //! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11, sweep orchestration |
 //! | [`serve`] | `dcmaint-serve` | crash-tolerant maintenance-plane daemon: durable job queue, supervised worker, live journal fan-out |
 //! | [`bench`](mod@bench) | `dcmaint-bench` | `BenchReport` perf-artifact schema + the `selfmaint profile` engine self-profiling harness |
@@ -73,6 +74,7 @@ pub use dcmaint_sweep as sweep;
 pub use dcmaint_telemetry as telemetry;
 pub use dcmaint_tickets as tickets;
 pub use dcmaint_topomaint as topomaint;
+pub use dcmaint_twin as twin;
 pub use maintctl as control;
 
 /// The most commonly used types, for `use selfmaint::prelude::*`.
@@ -85,5 +87,6 @@ pub mod prelude {
     pub use dcmaint_metrics::Table;
     pub use dcmaint_obs::ObsConfig;
     pub use dcmaint_scenarios::{RunReport, ScenarioConfig, TopologySpec};
+    pub use dcmaint_twin::{TwinConfig, TwinPolicy};
     pub use maintctl::{AutomationLevel, ControllerConfig, MaintenanceController};
 }

@@ -37,6 +37,7 @@ fn wall_clock_consumers_are_exactly_the_sanctioned_set() {
     const SANCTUARY: &str = "crates/obs/src/wall.rs";
     const SANCTIONED: &[&str] = &[
         "crates/bench/src/profile.rs",
+        "crates/bench/src/twin.rs",
         "crates/obs/src/wall.rs",
         "crates/serve/src/bench.rs",
         "crates/serve/src/client.rs",

@@ -135,10 +135,10 @@ pub fn scan(src: &str) -> Scan {
                 blank(&mut out, start, i);
             }
             b'r' | b'b' if raw_fence(b, i).is_some() => {
-                // r"…", r#"…"#, br"…", b"…" — find the fence, then the
+                // r"…", r#"…"#, b"…", br#"…"# — find the fence, then the
                 // matching close quote + fence.
                 let start = i;
-                let (body, hashes) = raw_fence(b, i).expect("checked");
+                let (body, hashes, raw) = raw_fence(b, i).expect("checked");
                 i = body; // first byte after the opening quote
                 loop {
                     if i >= n {
@@ -149,6 +149,18 @@ pub fn scan(src: &str) -> Scan {
                         i += 1;
                         continue;
                     }
+                    // Escapes are literal inside raw strings, but a
+                    // plain byte string `b"…"` escapes exactly like a
+                    // normal string literal — `b"a\"b"` must not close
+                    // at the escaped quote.
+                    if !raw && b[i] == b'\\' {
+                        i += 1; // skip the escaped byte…
+                        if i < n && b[i] == b'\n' {
+                            line += 1; // …which a line-continuation makes a newline
+                        }
+                        i += 1;
+                        continue;
+                    }
                     if b[i] == b'"'
                         && b[i + 1..].len() >= hashes
                         && b[i + 1..i + 1 + hashes].iter().all(|&c| c == b'#')
@@ -156,10 +168,6 @@ pub fn scan(src: &str) -> Scan {
                         i += 1 + hashes;
                         break;
                     }
-                    // Escapes are literal inside raw strings; plain
-                    // `b"…"` (hashes == 0 via the `b` arm) does escape,
-                    // but blanking past an escaped quote only risks
-                    // blanking one extra token — harmless for linting.
                     i += 1;
                 }
                 blank(&mut out, start, i);
@@ -194,8 +202,10 @@ pub fn scan(src: &str) -> Scan {
 }
 
 /// If a raw/byte string literal starts at `i`, return
-/// `(index after opening quote, fence hash count)`.
-fn raw_fence(b: &[u8], i: usize) -> Option<(usize, usize)> {
+/// `(index after opening quote, fence hash count, is_raw)`. A raw
+/// *identifier* `r#ident` has no quote after its hash and is not a
+/// literal — it stays in the code channel.
+fn raw_fence(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
     // Not a literal prefix if glued to a preceding identifier
     // (`for r in…` can't reach here, but `writer"x"` style idents can't
     // be valid Rust anyway; guard regardless).
@@ -216,7 +226,7 @@ fn raw_fence(b: &[u8], i: usize) -> Option<(usize, usize)> {
         j += 1;
     }
     if j < b.len() && b[j] == b'"' && (raw || (hashes == 0 && j > i)) {
-        Some((j + 1, if raw { hashes } else { 0 }))
+        Some((j + 1, if raw { hashes } else { 0 }, raw))
     } else {
         None
     }
@@ -303,6 +313,54 @@ mod tests {
         let s = scan("/* outer /* SystemTime */ still */ let c = 3;\n");
         assert!(!s.blanked.contains("SystemTime"));
         assert!(s.blanked.contains("let c = 3;"));
+    }
+
+    /// Golden fixture: byte strings blank exactly like normal strings,
+    /// escaped quotes included — `b"a\"b"` must not close at the
+    /// escaped quote and leak the tail into the code channel.
+    #[test]
+    fn byte_strings_blanked_with_escapes() {
+        let s = scan("let a = b\"HashMap\"; let b = 1;\n");
+        assert!(!s.blanked.contains("HashMap"));
+        assert!(s.blanked.contains("let b = 1;"));
+
+        let s = scan("let a = b\"a\\\"HashMap\"; let c = 2;\n");
+        assert!(
+            !s.blanked.contains("HashMap"),
+            "escaped quote must not close the literal"
+        );
+        assert!(s.blanked.contains("let c = 2;"));
+    }
+
+    /// Golden fixture: raw byte strings with fences.
+    #[test]
+    fn raw_byte_strings_blanked() {
+        let s = scan("let a = br#\"thread_rng \" inner\"#; let d = 3;\n");
+        assert!(!s.blanked.contains("thread_rng"));
+        assert!(s.blanked.contains("let d = 3;"));
+
+        let s = scan("let a = br\"SystemTime\"; let e = 4;\n");
+        assert!(!s.blanked.contains("SystemTime"));
+        assert!(s.blanked.contains("let e = 4;"));
+    }
+
+    /// Golden fixture: a raw identifier `r#ident` is code, not a string
+    /// fence — it must survive blanking intact (the token layer
+    /// normalizes it to its bare name).
+    #[test]
+    fn raw_identifiers_stay_in_code_channel() {
+        let s = scan("let r#type = 1; let r#match = r\"gone\";\n");
+        assert!(s.blanked.contains("let r#type = 1;"));
+        assert!(s.blanked.contains("let r#match ="));
+        assert!(!s.blanked.contains("gone"));
+    }
+
+    /// Golden fixture: byte char literals.
+    #[test]
+    fn byte_char_literals_blanked() {
+        let s = scan("let a = b'x'; let b = b'\\n'; let f = 5;\n");
+        assert!(s.blanked.contains("let f = 5;"));
+        assert!(!s.blanked.contains("'x'"));
     }
 
     #[test]

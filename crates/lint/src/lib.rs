@@ -30,10 +30,14 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod docs;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 pub mod suppress;
+pub mod tokens;
 pub mod walk;
 
 use std::path::Path;
@@ -106,12 +110,68 @@ pub fn lint_sources(
     files: &[(String, String)],
     baseline: Option<(&str, &str)>,
 ) -> Result<Outcome, String> {
+    lint_sources_with(files, baseline, None)
+}
+
+/// [`lint_sources`] plus a lock-hierarchy declaration (the contents
+/// of `lint-locks.txt`) enabling the `lock-order` rule.
+///
+/// Two passes: the per-line rules run file-by-file, then the semantic
+/// rules ([`semantic`]) run over the whole item model at once. All
+/// findings are grouped back to their anchor file *before* inline
+/// suppressions apply, so a `lint:allow(snapshot-coverage)` on an
+/// `Engine` field works exactly like the syntactic allows — and
+/// unused-allow hygiene stays accurate.
+pub fn lint_sources_with(
+    files: &[(String, String)],
+    baseline: Option<(&str, &str)>,
+    locks: Option<&str>,
+) -> Result<Outcome, String> {
+    let hierarchy = match locks {
+        Some(text) => Some(semantic::LockHierarchy::parse(text)?),
+        None => None,
+    };
+    let scans: Vec<lexer::Scan> = files.iter().map(|(_, src)| lexer::scan(src)).collect();
+    let masks: Vec<Vec<bool>> = scans
+        .iter()
+        .map(|s| lexer::test_line_mask(&s.blanked))
+        .collect();
+    let models: Vec<model::FileModel> = scans
+        .iter()
+        .map(|s| model::parse(tokens::tokenize(&s.blanked)))
+        .collect();
+
+    // Pass 1: per-line rules, grouped per file.
+    let mut per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .zip(&scans)
+        .map(|((rel, _), scan)| rules::check(rel, classify(rel), scan))
+        .collect();
+
+    // Pass 2: semantic rules over the whole model; group each finding
+    // back to its anchor file so suppressions can see it.
+    let sem_files: Vec<semantic::SemFile<'_>> = files
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _))| semantic::SemFile {
+            rel,
+            kind: classify(rel),
+            mask: &masks[i],
+            model: &models[i],
+        })
+        .collect();
+    for finding in semantic::check(&sem_files, hierarchy.as_ref()) {
+        match files.iter().position(|(rel, _)| *rel == finding.path) {
+            Some(i) => per_file[i].push(finding),
+            None => per_file[0].push(finding), // unreachable: anchors are scanned files
+        }
+    }
+
     let mut findings = Vec::new();
     let mut suppressed = 0;
-    for (rel, src) in files {
-        let scan = lexer::scan(src);
-        let raw = rules::check(rel, classify(rel), &scan);
-        let (kept, n) = suppress::apply(rel, &scan, raw);
+    for (i, (rel, _)) in files.iter().enumerate() {
+        let raw = std::mem::take(&mut per_file[i]);
+        let (kept, n) = suppress::apply(rel, &scans[i], raw);
         suppressed += n;
         findings.extend(kept);
     }
@@ -139,9 +199,22 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         .findings
 }
 
+/// Default location of the lock-hierarchy declaration.
+pub const LOCKS_FILE: &str = "lint-locks.txt";
+
 /// Lint the workspace tree at `root`. Reads the baseline at
-/// `baseline_path` when it exists.
+/// `baseline_path` and the lock hierarchy at `locks_path` when they
+/// exist (`None` locks path falls back to `root/lint-locks.txt`).
 pub fn lint_tree(root: &Path, baseline_path: &Path) -> Result<Outcome, String> {
+    lint_tree_with(root, baseline_path, None)
+}
+
+/// [`lint_tree`] with an explicit lock-hierarchy path override.
+pub fn lint_tree_with(
+    root: &Path,
+    baseline_path: &Path,
+    locks_path: Option<&Path>,
+) -> Result<Outcome, String> {
     let rels = walk::workspace_files(root).map_err(|e| format!("walk {root:?}: {e}"))?;
     let mut files = Vec::with_capacity(rels.len());
     for rel in rels {
@@ -161,11 +234,32 @@ pub fn lint_tree(root: &Path, baseline_path: &Path) -> Result<Outcome, String> {
     } else {
         None
     };
-    lint_sources(
+    let default_locks = root.join(LOCKS_FILE);
+    let locks_path = locks_path.unwrap_or(&default_locks);
+    let locks_text = if locks_path.exists() {
+        Some(std::fs::read_to_string(locks_path).map_err(|e| format!("read {locks_path:?}: {e}"))?)
+    } else {
+        None
+    };
+    lint_sources_with(
         &files,
         baseline.as_ref().map(|(l, t)| (l.as_str(), t.as_str())),
+        locks_text.as_deref(),
     )
 }
+
+/// Every flag [`run_cli`] accepts, in usage order. The `selfmaint`
+/// dispatcher's doc text and this crate's own usage string are both
+/// test-pinned to this list, so a new flag cannot ship undocumented.
+pub const CLI_FLAGS: &[&str] = &[
+    "--root",
+    "--baseline",
+    "--locks",
+    "--json",
+    "--write-baseline",
+    "--list-rules",
+    "--explain",
+];
 
 /// Shared CLI entry for the `dcmaint-lint` binary and the
 /// `selfmaint lint` subcommand. Returns the process exit code:
@@ -173,6 +267,7 @@ pub fn lint_tree(root: &Path, baseline_path: &Path) -> Result<Outcome, String> {
 pub fn run_cli(args: &[String]) -> i32 {
     let mut root = String::from(".");
     let mut baseline: Option<String> = None;
+    let mut locks: Option<String> = None;
     let mut json = false;
     let mut write_baseline = false;
     let mut i = 0;
@@ -183,14 +278,26 @@ pub fn run_cli(args: &[String]) -> i32 {
             "--list-rules" => {
                 let mut out = String::new();
                 for r in rules::ALL_RULES {
-                    out.push_str(&format!("{r:15} {}\n", rules::describe(r)));
+                    out.push_str(&format!("{r:22} {}\n", rules::describe(r)));
                 }
                 // lint:allow(print-in-lib): this is the CLI entry point shared by both binaries; stdout is its output contract
                 print!("{out}");
                 return 0;
             }
-            "--root" | "--baseline" if i + 1 >= args.len() => {
+            "--root" | "--baseline" | "--locks" | "--explain" if i + 1 >= args.len() => {
                 return usage(&format!("{} needs a value", args[i]));
+            }
+            "--explain" => {
+                i += 1;
+                let rule = args[i].as_str();
+                let Some(doc) = docs::doc_for(rule) else {
+                    return usage(&format!(
+                        "unknown rule {rule:?} (see --list-rules for the registry)"
+                    ));
+                };
+                // lint:allow(print-in-lib): this is the CLI entry point shared by both binaries; stdout is its output contract
+                print!("{}", docs::render_explain(doc));
+                return 0;
             }
             "--root" => {
                 i += 1;
@@ -200,6 +307,10 @@ pub fn run_cli(args: &[String]) -> i32 {
                 i += 1;
                 baseline = Some(args[i].clone());
             }
+            "--locks" => {
+                i += 1;
+                locks = Some(args[i].clone());
+            }
             other => return usage(&format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -208,7 +319,8 @@ pub fn run_cli(args: &[String]) -> i32 {
     let baseline_path = baseline
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| root.join("lint-baseline.txt"));
-    match lint_tree(root, &baseline_path) {
+    let locks_path = locks.map(std::path::PathBuf::from);
+    match lint_tree_with(root, &baseline_path, locks_path.as_deref()) {
         Ok(outcome) => {
             if write_baseline {
                 let text = baseline::render(&outcome.findings);
@@ -239,7 +351,8 @@ fn usage(err: &str) -> i32 {
     // lint:allow(print-in-lib): CLI error path; stderr before nonzero exit
     eprintln!(
         "dcmaint-lint: {err}\n\
-         usage: dcmaint-lint [--root DIR] [--baseline PATH] [--json] [--write-baseline] [--list-rules]"
+         usage: dcmaint-lint [--root DIR] [--baseline PATH] [--locks PATH] [--json] \
+         [--write-baseline] [--list-rules] [--explain RULE]"
     );
     2
 }

@@ -1,0 +1,490 @@
+//! Item-level model of one Rust source file.
+//!
+//! Built by a single forward pass over the token stream (`tokens`):
+//! structs with their fields (name + type idents + decl line), enums
+//! with their variants, and fns with signature/body token ranges. It
+//! is deliberately *not* an AST — bodies stay as brace-matched token
+//! slices that the semantic rules scan directly. Everything here is
+//! fail-safe by construction: unmatched delimiters and truncated
+//! input saturate at end-of-stream instead of panicking, which is
+//! what the fuzz gate pins down.
+
+use crate::tokens::{Tok, Token};
+use std::ops::Range;
+
+/// A struct field or enum variant: name, declaration line, and the
+/// identifiers appearing in its type (enough to ask "is this field a
+/// `Stream`?" without modeling types).
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub name: String,
+    pub line: u32,
+    pub ty: Vec<String>,
+}
+
+/// A `struct` item with named fields (tuple/unit structs parse to an
+/// empty field list — the rules only care about named state).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub line: u32,
+    pub fields: Vec<Field>,
+}
+
+/// An `enum` item; variants reuse `Field` (name + line, `ty` holds
+/// payload idents).
+#[derive(Debug, Clone)]
+pub struct EnumItem {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<Field>,
+}
+
+/// A `fn` item. `sig` spans `fn` through the token before the body
+/// open brace; `body` spans the braced body *exclusive* of its
+/// delimiters, or `None` for bodyless trait-method declarations.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub line: u32,
+    pub sig: Range<usize>,
+    pub body: Option<Range<usize>>,
+}
+
+/// One arm of a `match`: pattern tokens (`head`, up to `=>`) and the
+/// arm value tokens (`value`).
+#[derive(Debug, Clone)]
+pub struct MatchArm {
+    pub line: u32,
+    pub head: Range<usize>,
+    pub value: Range<usize>,
+}
+
+/// The per-file item model. Ranges in the items index into `tokens`.
+#[derive(Debug)]
+pub struct FileModel {
+    pub tokens: Vec<Token>,
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    pub fns: Vec<FnItem>,
+}
+
+impl FileModel {
+    pub fn struct_named(&self, name: &str) -> Option<&StructItem> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    pub fn enum_named(&self, name: &str) -> Option<&EnumItem> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    pub fn fn_named(&self, name: &str) -> Option<&FnItem> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+
+    /// Idents appearing anywhere in `range`.
+    pub fn idents_in(&self, range: Range<usize>) -> impl Iterator<Item = &str> {
+        self.tokens[range.start.min(self.tokens.len())..range.end.min(self.tokens.len())]
+            .iter()
+            .filter_map(|t| t.ident())
+    }
+}
+
+/// Index of the token closing the delimiter opened at `open` (same
+/// kind only: `{}`, `()`, or `[]`). Saturates to `toks.len()` when
+/// unmatched — callers treat that as "runs to end of file".
+pub fn close_delim(toks: &[Token], open: usize) -> usize {
+    let (o, c) = match toks.get(open).map(|t| &t.tok) {
+        Some(Tok::Punct(b'{')) => (b'{', b'}'),
+        Some(Tok::Punct(b'(')) => (b'(', b')'),
+        Some(Tok::Punct(b'[')) => (b'[', b']'),
+        _ => return toks.len(),
+    };
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct(p) if *p == o => depth += 1,
+            Tok::Punct(p) if *p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Combined `{}`/`()`/`[]` nesting depth delta of one token.
+fn depth_delta(t: &Token) -> i32 {
+    match t.tok {
+        Tok::Punct(b'{') | Tok::Punct(b'(') | Tok::Punct(b'[') => 1,
+        Tok::Punct(b'}') | Tok::Punct(b')') | Tok::Punct(b']') => -1,
+        _ => 0,
+    }
+}
+
+/// Parse the body of a braced item (struct or enum), `open` pointing
+/// at `{`. Returns (entries, close index). An entry is an ident in
+/// "expecting" position (start of body or after a top-level `,`),
+/// skipping attributes and visibility; its `ty` collects the idents
+/// up to the next top-level `,`. Angle brackets are tracked here —
+/// inside struct/enum bodies `<`/`>` are always generics, so commas
+/// inside `BTreeMap<K, V>` don't split fields (`->` of fn-pointer
+/// types is special-cased).
+fn parse_braced_entries(toks: &[Token], open: usize) -> (Vec<Field>, usize) {
+    parse_entries(toks, open)
+}
+
+/// Same entry grammar over a paren group — used for fn parameter
+/// lists, where an entry is `name: Type` exactly like a field.
+pub fn parse_paren_entries(toks: &[Token], open: usize) -> (Vec<Field>, usize) {
+    parse_entries(toks, open)
+}
+
+fn parse_entries(toks: &[Token], open: usize) -> (Vec<Field>, usize) {
+    let close = close_delim(toks, open);
+    let mut entries: Vec<Field> = Vec::new();
+    let mut depth = 0i32; // (){}[] depth relative to the body
+    let mut angle = 0i32;
+    let mut expecting = true;
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        let d = depth_delta(t);
+        if d != 0 {
+            depth += d;
+            i += 1;
+            continue;
+        }
+        match &t.tok {
+            Tok::Punct(b'<') if depth == 0 => angle += 1,
+            // `->` of an fn-pointer type is not a generic close.
+            Tok::Punct(b'>')
+                if depth == 0 && angle > 0 && !(i > 0 && toks[i - 1].is_punct(b'-')) =>
+            {
+                angle -= 1;
+            }
+            Tok::Punct(b',') if depth == 0 && angle == 0 => expecting = true,
+            // Attribute `#[…]`: skip the bracket group.
+            Tok::Punct(b'#')
+                if expecting
+                    && depth == 0
+                    && toks.get(i + 1).map(|t| t.is_punct(b'[')) == Some(true) =>
+            {
+                i = close_delim(toks, i + 1) + 1;
+                continue;
+            }
+            Tok::Ident(name) if expecting && depth == 0 && angle == 0 => {
+                if name == "pub" {
+                    // `pub` / `pub(crate)`: skip, stay expecting.
+                    if toks.get(i + 1).map(|t| t.is_punct(b'(')) == Some(true) {
+                        i = close_delim(toks, i + 1) + 1;
+                        continue;
+                    }
+                } else {
+                    entries.push(Field {
+                        name: name.clone(),
+                        line: t.line,
+                        ty: Vec::new(),
+                    });
+                    expecting = false;
+                }
+            }
+            Tok::Ident(id) if !expecting && depth >= 0 => {
+                if let Some(last) = entries.last_mut() {
+                    last.ty.push(id.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (entries, close)
+}
+
+/// Build the item model for one file's token stream.
+pub fn parse(tokens: Vec<Token>) -> FileModel {
+    let mut structs = Vec::new();
+    let mut enums = Vec::new();
+    let mut fns = Vec::new();
+    let toks = &tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let kw = match toks[i].ident() {
+            Some(k @ ("struct" | "enum" | "fn")) => k,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        let Some(name) = name_tok.ident() else {
+            // `fn(u32) -> u32` pointer type, `struct` in a macro, …
+            i += 1;
+            continue;
+        };
+        let name = name.to_string();
+        let line = toks[i].line;
+        // Scan forward to the item body `{` or terminator `;` at
+        // paren/bracket depth 0 (skips generics and, for fns, the
+        // whole signature).
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct(b'(') | Tok::Punct(b'[') => depth += 1,
+                Tok::Punct(b')') | Tok::Punct(b']') => depth -= 1,
+                Tok::Punct(b'{') if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(b';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        match (kw, open) {
+            ("struct", Some(o)) => {
+                let (fields, _close) = parse_braced_entries(toks, o);
+                structs.push(StructItem { name, line, fields });
+                i = o + 1; // keep scanning inside (nested items)
+            }
+            ("enum", Some(o)) => {
+                let (variants, _close) = parse_braced_entries(toks, o);
+                enums.push(EnumItem {
+                    name,
+                    line,
+                    variants,
+                });
+                i = o + 1;
+            }
+            ("fn", Some(o)) => {
+                let close = close_delim(toks, o);
+                fns.push(FnItem {
+                    name,
+                    line,
+                    sig: i..o,
+                    body: Some(o + 1..close),
+                });
+                i = o + 1;
+            }
+            ("fn", None) => {
+                fns.push(FnItem {
+                    name,
+                    line,
+                    sig: i..j.min(toks.len()),
+                    body: None,
+                });
+                i = j.min(toks.len()).max(i + 1);
+            }
+            _ => {
+                // Tuple/unit struct or bodyless enum fragment.
+                if kw == "struct" {
+                    structs.push(StructItem {
+                        name,
+                        line,
+                        fields: Vec::new(),
+                    });
+                }
+                i = j.min(toks.len()).max(i + 1);
+            }
+        }
+    }
+    FileModel {
+        tokens,
+        structs,
+        enums,
+        fns,
+    }
+}
+
+/// Arms of the *first* `match` found inside `range` (the rules only
+/// ever need a fn's outermost dispatch match). Arm heads run to the
+/// `=>` at arm depth; values to the `,` that ends the arm or, for
+/// block-valued arms, the matching `}`.
+pub fn arms_of_first_match(toks: &[Token], range: Range<usize>) -> Vec<MatchArm> {
+    let end = range.end.min(toks.len());
+    let mut i = range.start.min(end);
+    // Find `match`, then its body `{` at depth 0 from the scrutinee.
+    let mut arms = Vec::new();
+    while i < end && !toks[i].is_ident("match") {
+        i += 1;
+    }
+    if i >= end {
+        return arms;
+    }
+    let mut depth = 0i32;
+    let mut open = None;
+    let mut j = i + 1;
+    while j < end {
+        match &toks[j].tok {
+            Tok::Punct(b'(') | Tok::Punct(b'[') => depth += 1,
+            Tok::Punct(b')') | Tok::Punct(b']') => depth -= 1,
+            Tok::Punct(b'{') if depth == 0 => {
+                open = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let Some(open) = open else {
+        return arms;
+    };
+    let close = close_delim(toks, open).min(end);
+    let mut k = open + 1;
+    while k < close {
+        // Head: tokens until `=>` at depth 0 relative to the arm.
+        let head_start = k;
+        let mut depth = 0i32;
+        let mut arrow = None;
+        let mut m = k;
+        while m < close {
+            let d = depth_delta(&toks[m]);
+            if d != 0 {
+                depth += d;
+            } else if depth == 0
+                && toks[m].is_punct(b'=')
+                && toks.get(m + 1).map(|t| t.is_punct(b'>')) == Some(true)
+            {
+                arrow = Some(m);
+                break;
+            }
+            m += 1;
+        }
+        let Some(arrow) = arrow else {
+            break; // truncated / not an arm — stop, fail-safe
+        };
+        // Value: `{ … }` block (then optional `,`) or expression to
+        // the `,` at depth 0.
+        let vstart = arrow + 2;
+        let vend;
+        let next_k;
+        if toks.get(vstart).map(|t| t.is_punct(b'{')) == Some(true) {
+            let vclose = close_delim(toks, vstart).min(close);
+            vend = (vclose + 1).min(close);
+            next_k = if toks.get(vend).map(|t| t.is_punct(b',')) == Some(true) {
+                vend + 1
+            } else {
+                vend
+            };
+        } else {
+            let mut depth = 0i32;
+            let mut m = vstart;
+            while m < close {
+                let d = depth_delta(&toks[m]);
+                if d != 0 {
+                    depth += d;
+                } else if depth == 0 && toks[m].is_punct(b',') {
+                    break;
+                }
+                m += 1;
+            }
+            vend = m.min(close);
+            next_k = (m + 1).min(close);
+        }
+        arms.push(MatchArm {
+            line: toks[head_start].line,
+            head: head_start..arrow,
+            value: vstart..vend,
+        });
+        if next_k <= k {
+            break; // no progress — fail-safe against pathological input
+        }
+        k = next_k;
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer, tokens};
+
+    fn model(src: &str) -> FileModel {
+        parse(tokens::tokenize(&lexer::scan(src).blanked))
+    }
+
+    #[test]
+    fn struct_fields_with_generics() {
+        let m = model(
+            "pub struct Engine {\n    pub links: BTreeMap<LinkId, LinkRt>,\n    #[allow(dead_code)]\n    wall: Option<fn(u32) -> u32>,\n    hazard: Stream,\n}\n",
+        );
+        let s = m.struct_named("Engine").unwrap();
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["links", "wall", "hazard"]);
+        assert_eq!(s.fields[0].line, 2);
+        assert!(s.fields[2].ty.contains(&"Stream".to_string()));
+    }
+
+    #[test]
+    fn enum_variants_with_payloads() {
+        let m = model(
+            "enum Ev {\n    Tick,\n    RepairDone { op: OpId, ok: bool },\n    Sample(u64),\n}\n",
+        );
+        let e = m.enum_named("Ev").unwrap();
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["Tick", "RepairDone", "Sample"]);
+    }
+
+    #[test]
+    fn fn_bodies_and_nested_items() {
+        let m = model("impl E {\n    fn outer(&self) -> u32 {\n        fn inner() {}\n        1\n    }\n}\nfn free() {}\n");
+        assert!(m.fn_named("outer").is_some());
+        assert!(m.fn_named("inner").is_some());
+        assert!(m.fn_named("free").is_some());
+        let outer = m.fn_named("outer").unwrap();
+        let body = outer.body.clone().unwrap();
+        assert!(m.idents_in(body).any(|i| i == "inner"));
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_an_item() {
+        let m = model("type F = fn(u32) -> u32;\nfn real() {}\n");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "real");
+    }
+
+    #[test]
+    fn match_arms_heads_and_values() {
+        let m = model(
+            "fn handle(&mut self, ev: Ev) {\n    match ev {\n        Ev::Tick => self.on_tick(),\n        Ev::RepairDone { op, ok } => {\n            self.on_repair_done(op, ok);\n        }\n        _ => {}\n    }\n}\n",
+        );
+        let f = m.fn_named("handle").unwrap();
+        let arms = arms_of_first_match(&m.tokens, f.body.clone().unwrap());
+        assert_eq!(arms.len(), 3);
+        let head0: Vec<&str> = m.idents_in(arms[0].head.clone()).collect();
+        assert_eq!(head0, ["Ev", "Tick"]);
+        assert!(m
+            .idents_in(arms[1].value.clone())
+            .any(|i| i == "on_repair_done"));
+        let head2: Vec<&str> = m.idents_in(arms[2].head.clone()).collect();
+        assert_eq!(head2, ["_"]);
+    }
+
+    #[test]
+    fn truncated_input_saturates() {
+        for src in [
+            "struct S { a: u32,",
+            "fn f(",
+            "fn f() { match x { A =>",
+            "enum E { A(",
+            "struct",
+            "fn",
+        ] {
+            let m = model(src);
+            for f in &m.fns {
+                if let Some(b) = f.body.clone() {
+                    let _ = arms_of_first_match(&m.tokens, b);
+                }
+            }
+        }
+    }
+}

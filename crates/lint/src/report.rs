@@ -76,8 +76,12 @@ fn escape_json(s: &str) -> String {
 
 /// Machine-readable report (one object; findings array in canonical
 /// order) — the CI artifact.
+///
+/// Schema v2: adds a `schema` tag and a `by_rule` object counting
+/// surviving findings per registered rule (rules with zero findings
+/// are present too, so consumers can diff coverage across runs).
 pub fn render_json(o: &Outcome) -> String {
-    let mut out = String::from("{\n  \"findings\": [");
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"findings\": [");
     for (i, f) in o.findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -93,8 +97,17 @@ pub fn render_json(o: &Outcome) -> String {
     if !o.findings.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n  \"by_rule\": {");
+    for (i, rule) in crate::rules::ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = o.findings.iter().filter(|f| f.rule == *rule).count();
+        out.push_str(&format!("\n    \"{rule}\": {n}"));
+    }
+    out.push_str("\n  },");
     out.push_str(&format!(
-        "],\n  \"files_scanned\": {},\n  \"baselined\": {},\n  \"suppressed\": {},\n  \"clean\": {}\n}}\n",
+        "\n  \"files_scanned\": {},\n  \"baselined\": {},\n  \"suppressed\": {},\n  \"clean\": {}\n}}\n",
         o.files,
         o.baselined,
         o.suppressed,

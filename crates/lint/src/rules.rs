@@ -28,6 +28,16 @@ pub const FLOAT_FOLD: &str = "float-fold";
 pub const PRINT_IN_LIB: &str = "print-in-lib";
 /// Crate roots must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Semantic: every `Engine` state field must round-trip through the
+/// snapshot codec (see [`crate::semantic`]).
+pub const SNAPSHOT_COVERAGE: &str = "snapshot-coverage";
+/// Semantic: every `Ev` variant needs a `prof_attribution` arm and a
+/// reachable journal/trace emission.
+pub const EVENT_COVERAGE: &str = "event-coverage";
+/// Semantic: engine RNG draws must go through named `Stream`s.
+pub const RNG_STREAM: &str = "rng-stream-discipline";
+/// Semantic: nested `Mutex` acquisitions must follow `lint-locks.txt`.
+pub const LOCK_ORDER: &str = "lock-order";
 /// Meta: malformed/unused `lint:allow` suppressions.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
 /// Meta: baseline entries no longer matched by any finding.
@@ -41,6 +51,10 @@ pub const ALL_RULES: &[&str] = &[
     FLOAT_FOLD,
     PRINT_IN_LIB,
     FORBID_UNSAFE,
+    SNAPSHOT_COVERAGE,
+    EVENT_COVERAGE,
+    RNG_STREAM,
+    LOCK_ORDER,
     ALLOW_HYGIENE,
     STALE_BASELINE,
 ];
@@ -54,6 +68,10 @@ pub const SUPPRESSIBLE_RULES: &[&str] = &[
     FLOAT_FOLD,
     PRINT_IN_LIB,
     FORBID_UNSAFE,
+    SNAPSHOT_COVERAGE,
+    EVENT_COVERAGE,
+    RNG_STREAM,
+    LOCK_ORDER,
 ];
 
 /// Rules a baseline entry may grandfather (same set: the meta rules
@@ -69,6 +87,10 @@ pub fn describe(rule: &str) -> &'static str {
         FLOAT_FOLD => "float reduction over map values()/keys() — order-sensitive",
         PRINT_IN_LIB => "println!/eprintln!/dbg! in library code (use ReportWriter/journal)",
         FORBID_UNSAFE => "crate root missing #![forbid(unsafe_code)]",
+        SNAPSHOT_COVERAGE => "Engine state field missing from the snapshot save/restore codec",
+        EVENT_COVERAGE => "Ev variant without prof_attribution arm or reachable journal emission",
+        RNG_STREAM => "RNG draw outside a named Stream field / sanctioned derivation",
+        LOCK_ORDER => "nested Mutex acquisition violating the declared lint-locks.txt order",
         ALLOW_HYGIENE => "malformed or unused lint:allow suppression",
         STALE_BASELINE => "baseline entry matches fewer findings than it allows",
         _ => "unknown rule",

@@ -1,0 +1,186 @@
+//! Token layer over the blanked source.
+//!
+//! The semantic rules need more structure than lines of text but far
+//! less than a real Rust AST: identifiers, numbers, lifetimes, and
+//! punctuation, each tagged with its 1-based source line. Tokenizing
+//! the *blanked* text (see `lexer`) means string/comment interiors are
+//! already gone, so this layer never has to reason about literals —
+//! the only lexical wrinkle left is the raw identifier `r#ident`,
+//! which is normalized to its bare name so `r#type` and a hypothetical
+//! plain `type` field compare equal everywhere downstream.
+
+/// Token kind. Punctuation is kept one byte per token — the item
+/// parser matches multi-byte operators (`=>`, `::`) by adjacency,
+/// which keeps this layer trivially total on arbitrary input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `struct`, `match`, names…).
+    Ident(String),
+    /// Numeric literal (blanking leaves numbers in the code channel).
+    Num(String),
+    /// Lifetime (`'a`) — kept distinct so `'a` never reads as a char.
+    Life(String),
+    /// Single punctuation byte (`{`, `=`, `>`, `:`…).
+    Punct(u8),
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub line: u32,
+    pub tok: Tok,
+}
+
+impl Token {
+    /// Identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is exactly the identifier `kw`.
+    pub fn is_ident(&self, kw: &str) -> bool {
+        self.ident() == Some(kw)
+    }
+
+    /// True if this token is the punctuation byte `p`.
+    pub fn is_punct(&self, p: u8) -> bool {
+        self.tok == Tok::Punct(p)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize blanked source. Total on arbitrary input: every byte is
+/// either consumed into a token or skipped (whitespace, non-ASCII
+/// residue from lossy decoding).
+pub fn tokenize(blanked: &str) -> Vec<Token> {
+    let b = blanked.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c == b' ' || c == b'\t' || c == b'\r' {
+            i += 1;
+        } else if c == b'r'
+            && i + 1 < n
+            && b[i + 1] == b'#'
+            && i + 2 < n
+            && is_ident_start(b[i + 2])
+        {
+            // Raw identifier `r#ident` → bare `ident`.
+            let start = i + 2;
+            i = start;
+            while i < n && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                line,
+                tok: Tok::Ident(blanked[start..i].to_string()),
+            });
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                line,
+                tok: Tok::Ident(blanked[start..i].to_string()),
+            });
+        } else if c.is_ascii_digit() {
+            // Numbers incl. suffixes/underscores/dots — precision does
+            // not matter downstream, only that they aren't idents.
+            let start = i;
+            while i < n && (is_ident_byte(b[i]) || b[i] == b'.') {
+                // `1..n` range: stop before a second consecutive dot.
+                if b[i] == b'.' && i + 1 < n && b[i + 1] == b'.' {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Token {
+                line,
+                tok: Tok::Num(blanked[start..i].to_string()),
+            });
+        } else if c == b'\'' && i + 1 < n && is_ident_start(b[i + 1]) {
+            let start = i + 1;
+            i = start;
+            while i < n && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                line,
+                tok: Tok::Life(blanked[start..i].to_string()),
+            });
+        } else if c.is_ascii() {
+            toks.push(Token {
+                line,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        } else {
+            i += 1; // non-ASCII residue (lossy decode) — skip
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_ident_normalized() {
+        assert_eq!(idents("let r#type = r#match;"), ["let", "type", "match"]);
+    }
+
+    #[test]
+    fn lifetimes_distinct_from_idents() {
+        let toks = tokenize("fn f<'a>(x: &'a u32) {}");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Life(l) if l == "a")));
+        assert!(!idents("fn f<'a>() {}").contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let toks = tokenize("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_not_idents() {
+        let toks = tokenize("1.5f64 0xff 1_000 1..n");
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t.tok, Tok::Num(_))).count(),
+            4
+        );
+        // `n` from the range survives as an ident.
+        assert_eq!(idents("1..n"), ["n"]);
+    }
+}

@@ -19,6 +19,12 @@
 //!   (decisions/forks/commits, availability delta in ppb) in the
 //!   deterministic subtree and decision throughput/latency from the
 //!   `prof/twin` wall spans in the timing subtree (`BENCH_twin.json`).
+//! * [`autonomic`](mod@autonomic) — the MAPE-K loop harness behind
+//!   `selfmaint tune`: static + autonomic arms per seed on the E16
+//!   drift cell, loop accounting and the availability delta (ppb) in
+//!   the deterministic subtree, adaptation decisions/sec and mean tick
+//!   latency from the `prof/autonomic` wall spans in the timing
+//!   subtree (`BENCH_autonomic.json`).
 //! * Two Criterion bench targets: `benches/experiments.rs` (one group
 //!   per experiment E1–E11, CI-sized parameters of the exact runners
 //!   that regenerate EXPERIMENTS.md) and `benches/kernel.rs`
@@ -30,10 +36,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod autonomic;
 pub mod profile;
 pub mod report;
 pub mod twin;
 
+pub use autonomic::{run_autonomic_bench, AutonomicBenchOutcome, AutonomicBenchParams};
 pub use dcmaint_scenarios::experiments;
 pub use profile::{peak_rss_bytes, run_profile, ProfileOutcome, ProfileParams};
 pub use report::{parse_json, BenchReport, SCHEMA_VERSION};

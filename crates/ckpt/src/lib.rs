@@ -41,7 +41,10 @@ pub const MAGIC: [u8; 8] = *b"DCMCKPT\0";
 /// v2: scheduler section carries the `SchedProf` lifetime counters.
 /// v3: engine payload carries the twin-planner section (committed
 /// plans, planned-episode set, decision/fork counters).
-pub const VERSION: u32 = 3;
+/// v4: engine payload carries the autonomic MAPE-K section (efficacy
+/// posteriors, knob state, monitor cursor baselines, adaptation
+/// counters, autonomic RNG stream position).
+pub const VERSION: u32 = 4;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

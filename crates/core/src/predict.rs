@@ -82,6 +82,22 @@ impl Predictor {
         self.seen
     }
 
+    /// Re-anchor the intercept to an externally estimated base failure
+    /// rate (the autonomic plane's drift estimator feeds this).
+    ///
+    /// The bias is nudged a bounded fraction of the way toward
+    /// `logit(base_rate)`, and only while the model is still young
+    /// (few SGD examples): once `seen` is large the data already speaks
+    /// through the intercept and the nudge decays to zero. Deterministic
+    /// — no RNG, and idempotent at convergence.
+    pub fn reprior(&mut self, base_rate: f64) {
+        let r = base_rate.clamp(1e-6, 1.0 - 1e-6);
+        let target = (r / (1.0 - r)).ln();
+        // Full trust before any examples, fading out by ~200 examples.
+        let trust = 0.5 / (1.0 + self.seen as f64 / 50.0);
+        self.bias += trust * (target - self.bias);
+    }
+
     /// Current weights (for report tables — which features the model
     /// learned to care about).
     pub fn weights(&self) -> &[f64; FEATURE_DIM] {
@@ -247,6 +263,39 @@ mod tests {
             }
         }
         assert!(s_fail / n_fail > 1.3 * (s_ok / n_ok));
+    }
+
+    #[test]
+    fn reprior_moves_young_models_and_fades_with_evidence() {
+        // Fresh model, higher observed base rate: bias rises toward
+        // logit(0.3) ≈ -0.847 but stays bounded by the trust factor.
+        let mut young = Predictor::new();
+        let before = young.score(&[0.0; FEATURE_DIM]);
+        young.reprior(0.3);
+        let after = young.score(&[0.0; FEATURE_DIM]);
+        assert!(after > before, "reprior must raise a too-low prior");
+        assert!(after < 0.3, "single nudge stays bounded");
+        // Repeated repriors converge toward the target rate.
+        for _ in 0..64 {
+            young.reprior(0.3);
+        }
+        assert!((young.score(&[0.0; FEATURE_DIM]) - 0.3).abs() < 0.02);
+
+        // A well-trained model barely moves: the data already spoke.
+        let mut rng = SimRng::root(7).stream("predict", 0);
+        let mut old = Predictor::new();
+        for _ in 0..5_000 {
+            let (f, y) = synth_example(&mut rng);
+            old.train(&f, y);
+        }
+        let probe = [0.5; FEATURE_DIM];
+        let before = old.score(&probe);
+        old.reprior(0.9);
+        let after = old.score(&probe);
+        assert!(
+            (after - before).abs() < 0.05,
+            "mature model moved {before} -> {after}"
+        );
     }
 
     #[test]

@@ -80,6 +80,14 @@ impl ProactivePlanner {
         &self.cfg
     }
 
+    /// Retune the campaign trigger online (autonomic Plan step). The
+    /// count is clamped to ≥ 1; save/restore deliberately excludes
+    /// config, so a tuner must re-apply its knob after a restore (the
+    /// autonomic plane snapshots the knob itself and does exactly that).
+    pub fn set_trigger_count(&mut self, count: usize) {
+        self.cfg.trigger_count = count.max(1);
+    }
+
     /// Record that a reseat fixed a link; both endpoint switches get
     /// credit (the socket could be at fault on either side).
     pub fn record_reseat_fix(&mut self, topo: &Topology, link: LinkId, now: SimTime) {

@@ -105,6 +105,31 @@ pub fn advise(mtbf: SimDuration, mttr: SimDuration, k: usize, target: f64) -> Pr
     }
 }
 
+/// Observed MTBF/MTTR from windowed telemetry counts: `up_time` spread
+/// over `failures` gives MTBF, `down_time` over `repairs` gives MTTR.
+/// Zero denominators fall back to the supplied priors — early windows
+/// with no incidents must not read as "infinite reliability" and drive
+/// the advisor to zero spares. The autonomic Plan step feeds this
+/// straight into [`advise`].
+pub fn observed_rates(
+    up_time: SimDuration,
+    failures: u64,
+    down_time: SimDuration,
+    repairs: u64,
+    prior_mtbf: SimDuration,
+    prior_mttr: SimDuration,
+) -> (SimDuration, SimDuration) {
+    let mtbf = match up_time.as_micros().checked_div(failures) {
+        Some(us) if us > 0 => SimDuration::from_micros(us),
+        _ => prior_mtbf,
+    };
+    let mttr = match down_time.as_micros().checked_div(repairs) {
+        Some(us) if us > 0 => SimDuration::from_micros(us),
+        _ => prior_mttr,
+    };
+    (mtbf, mttr)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +220,31 @@ mod tests {
         let below = k_of_n_availability(adv.n - 1, adv.k, adv.member_availability);
         assert!(below < 0.9999);
         assert!(adv.achieved >= 0.9999);
+    }
+
+    #[test]
+    fn observed_rates_divide_and_fall_back() {
+        let (mtbf, mttr) = observed_rates(
+            SimDuration::from_days(60),
+            3,
+            SimDuration::from_hours(6),
+            3,
+            SimDuration::from_days(90),
+            SimDuration::from_days(1),
+        );
+        assert_eq!(mtbf, SimDuration::from_days(20));
+        assert_eq!(mttr, SimDuration::from_hours(2));
+        // Quiet window: no failures/repairs ⇒ priors, not infinities.
+        let (mtbf, mttr) = observed_rates(
+            SimDuration::from_days(60),
+            0,
+            SimDuration::ZERO,
+            0,
+            SimDuration::from_days(90),
+            SimDuration::from_days(1),
+        );
+        assert_eq!(mtbf, SimDuration::from_days(90));
+        assert_eq!(mttr, SimDuration::from_days(1));
     }
 
     #[test]

@@ -29,5 +29,7 @@ pub use avail::{
     FleetSummary,
 };
 pub use cost::{CostLedger, CostModel, HardwareKind};
-pub use stats::{mean_ci95, Ci95, DurationHistogram, DurationSamples, SampleSet, StreamingStats};
+pub use stats::{
+    mean_ci95, Beta, Ci95, DurationHistogram, DurationSamples, SampleSet, StreamingStats,
+};
 pub use table::{fnum, fpct, fratio, Align, Table};

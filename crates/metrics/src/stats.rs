@@ -602,6 +602,102 @@ impl DurationHistogram {
     }
 }
 
+/// Beta posterior over a Bernoulli success probability.
+///
+/// The conjugate workhorse behind online efficacy estimation: start from
+/// a `Beta(α₀, β₀)` prior, fold in success/failure observations one at a
+/// time, and read off the posterior mean and a 95% credible interval at
+/// any point. Updates are exact rational-count arithmetic on `(α, β)`,
+/// so two estimators fed the same observation sequence are bitwise
+/// identical — the property the autonomic plane's snapshot/restore
+/// contract leans on.
+///
+/// The credible interval uses the normal approximation to the Beta
+/// (mean ± 1.96·σ, clamped to `[0, 1]`). For the fleet-scale counts the
+/// maintenance plane sees (tens of observations and up) the
+/// approximation error is far below any decision threshold; the golden
+/// tests pin its exact values so it can never drift silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Default for Beta {
+    /// The uniform `Beta(1, 1)` prior.
+    fn default() -> Self {
+        Beta::new(1.0, 1.0)
+    }
+}
+
+impl Beta {
+    /// Posterior seeded with prior pseudo-counts `α₀` successes and
+    /// `β₀` failures. Non-positive priors are clamped to a proper
+    /// distribution (the degenerate `Beta(0, ·)` has no mean).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        Beta {
+            alpha: alpha.max(1e-9),
+            beta: beta.max(1e-9),
+        }
+    }
+
+    /// Fold in one Bernoulli observation.
+    pub fn observe(&mut self, success: bool) {
+        if success {
+            self.alpha += 1.0;
+        } else {
+            self.beta += 1.0;
+        }
+    }
+
+    /// Posterior mean `α/(α+β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Posterior variance `αβ/((α+β)²(α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// 95% credible interval (normal approximation, clamped to `[0, 1]`).
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.variance().sqrt();
+        let m = self.mean();
+        ((m - half).max(0.0), (m + half).min(1.0))
+    }
+
+    /// Width of the 95% credible interval — the convergence signal the
+    /// autonomic plane reports (narrow interval ⇒ settled posterior).
+    pub fn ci95_width(&self) -> f64 {
+        let (lo, hi) = self.ci95();
+        hi - lo
+    }
+
+    /// Total observations folded in (excluding the prior pseudo-counts
+    /// only when the caller started from integer priors; reported as the
+    /// raw pseudo-count mass `α+β` minus nothing — callers who need the
+    /// observation count track it via [`Beta::weight`]).
+    pub fn weight(&self) -> f64 {
+        self.alpha + self.beta
+    }
+
+    /// Append the posterior to a checkpoint.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.f64(self.alpha);
+        enc.f64(self.beta);
+    }
+
+    /// Inverse of [`Beta::save`].
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        Ok(Beta {
+            alpha: dec.f64()?,
+            beta: dec.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -822,5 +918,88 @@ mod tests {
         }
         assert!((h.cdf_at(SimDuration::from_secs(60)) - 0.6).abs() < 1e-12);
         assert!((h.cdf_at(SimDuration::from_days(30)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_golden_reference_values() {
+        // Uniform prior: mean 1/2, variance 1/12.
+        let b = Beta::default();
+        assert!((b.mean() - 0.5).abs() < 1e-15);
+        assert!((b.variance() - 1.0 / 12.0).abs() < 1e-15);
+
+        // Beta(1,1) + 7 successes + 3 failures = Beta(8, 4).
+        // Hand-computed references:
+        //   mean      = 8/12                       = 0.666666…
+        //   variance  = 8·4/(12²·13) = 32/1872     = 0.017094017094…
+        //   σ         = √variance                  = 0.130744…
+        //   ci95 half = 1.96·σ                     = 0.256258…
+        let mut b = Beta::default();
+        for i in 0..10 {
+            b.observe(i < 7);
+        }
+        assert!((b.mean() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((b.variance() - 32.0 / 1872.0).abs() < 1e-15);
+        let (lo, hi) = b.ci95();
+        assert!((lo - 0.410_408_250_086_106_15).abs() < 1e-12, "lo = {lo}");
+        assert!((hi - 0.922_925_083_247_227_1).abs() < 1e-12, "hi = {hi}");
+        assert!((b.ci95_width() - (hi - lo)).abs() < 1e-15);
+        assert!((b.weight() - 12.0).abs() < 1e-15);
+
+        // Informative prior Beta(3, 9): mean 1/4.
+        let b = Beta::new(3.0, 9.0);
+        assert!((b.mean() - 0.25).abs() < 1e-15);
+        assert!((b.variance() - 27.0 / (144.0 * 13.0)).abs() < 1e-15);
+
+        // Interval clamps to [0, 1] near the extremes.
+        let skewed = Beta::new(0.5, 20.0);
+        let (lo, hi) = skewed.ci95();
+        assert_eq!(lo, 0.0);
+        assert!(hi < 0.1);
+        assert!(Beta::new(-1.0, 0.0).mean().is_finite());
+    }
+
+    #[test]
+    fn beta_update_is_deterministic_and_order_sensitive_counts_agree() {
+        // Two estimators fed the same sequence are bitwise identical;
+        // permuted sequences with equal success counts agree too
+        // (conjugate updates only see the counts).
+        let seq = [true, false, true, true, false, true];
+        let mut a = Beta::default();
+        let mut b = Beta::default();
+        for &s in &seq {
+            a.observe(s);
+            b.observe(s);
+        }
+        assert_eq!(a, b);
+        let mut c = Beta::default();
+        for &s in &[false, false, true, true, true, true] {
+            c.observe(s);
+        }
+        assert_eq!(a, c);
+        // More evidence ⇒ narrower credible interval.
+        let mut wide = Beta::default();
+        let mut narrow = Beta::default();
+        for i in 0..4 {
+            wide.observe(i % 2 == 0);
+        }
+        for i in 0..400 {
+            narrow.observe(i % 2 == 0);
+        }
+        assert!(narrow.ci95_width() < wide.ci95_width() / 5.0);
+    }
+
+    #[test]
+    fn beta_save_load_round_trips() {
+        let mut b = Beta::new(2.0, 5.0);
+        for i in 0..13 {
+            b.observe(i % 3 == 0);
+        }
+        let mut enc = dcmaint_ckpt::Enc::new();
+        b.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = dcmaint_ckpt::Dec::new(&bytes);
+        let back = Beta::load(&mut dec).unwrap();
+        assert!(dec.is_exhausted());
+        assert_eq!(b, back);
     }
 }

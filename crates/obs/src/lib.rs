@@ -40,7 +40,7 @@ mod wall;
 
 pub use journal::{JVal, Journal};
 pub use prof::Prof;
-pub use registry::{HistogramSnapshot, ObsRegistry};
+pub use registry::{HistDelta, HistogramSnapshot, ObsRegistry, RegistryCursor, WindowDelta};
 pub use trace::{IncidentTrace, Span, TraceStore};
 pub use wall::WallProfile;
 

@@ -47,6 +47,7 @@ pub const SUBSYSTEMS: &[&str] = &[
     "recovery",   // watchdog + degradation ladder
     "ckpt",       // snapshot encode/decode
     "twin",       // digital-twin planning: fork fan-out + branch scoring
+    "autonomic",  // MAPE-K loop: monitor windows, posterior updates, knob moves
 ];
 
 /// Scoped wall timing per subsystem. A thin wrapper over

@@ -279,6 +279,55 @@ impl ObsRegistry {
         })
     }
 
+    /// Incremental read: everything that changed since `cursor` last saw
+    /// this registry, without re-scanning series that stayed flat.
+    ///
+    /// Counter and histogram storage is append-only and index-stable
+    /// (series are never removed or reordered; save/load preserves
+    /// first-touch order), so the cursor keys its baselines by index.
+    /// The returned view borrows scratch buffers owned by the cursor:
+    /// after warm-up they are reused, so a tick where nothing moved
+    /// performs **zero allocations** — the contract the periodic
+    /// autonomic monitor depends on, pinned by
+    /// `read_window_is_zero_alloc_when_idle`.
+    ///
+    /// A cursor must stay paired with one registry; feeding it a
+    /// different (or restored-then-diverged) registry yields deltas
+    /// against whatever baselines it carries.
+    pub fn read_window<'c>(&self, cursor: &'c mut RegistryCursor) -> WindowDelta<'c> {
+        cursor.counter_out.clear();
+        cursor.hist_out.clear();
+        if cursor.counter_seen.len() < self.counters.len() {
+            cursor.counter_seen.resize(self.counters.len(), 0);
+        }
+        for (i, &(name, v)) in self.counters.iter().enumerate() {
+            let delta = v - cursor.counter_seen[i];
+            if delta != 0 {
+                cursor.counter_out.push((name, delta));
+                cursor.counter_seen[i] = v;
+            }
+        }
+        if cursor.hist_seen.len() < self.hists.len() {
+            cursor.hist_seen.resize(self.hists.len(), (0, 0));
+        }
+        for (i, h) in self.hists.iter().enumerate() {
+            let (seen_total, seen_sum) = cursor.hist_seen[i];
+            if h.total != seen_total || h.sum_us != seen_sum {
+                cursor.hist_out.push(HistDelta {
+                    family: h.family,
+                    key: h.key,
+                    total: h.total - seen_total,
+                    sum_us: h.sum_us.wrapping_sub(seen_sum),
+                });
+                cursor.hist_seen[i] = (h.total, h.sum_us);
+            }
+        }
+        WindowDelta {
+            counters: &cursor.counter_out,
+            hists: &cursor.hist_out,
+        }
+    }
+
     /// Render counters and histogram summaries as stable JSON lines
     /// (one object per line), for appending to a journal dump.
     pub fn snapshot_lines(&self) -> Vec<String> {
@@ -300,6 +349,102 @@ impl ObsRegistry {
             ));
         }
         out
+    }
+}
+
+/// Baselines + reusable scratch for [`ObsRegistry::read_window`].
+///
+/// Owns per-index last-seen values for every counter and histogram
+/// series, plus the output buffers the returned [`WindowDelta`] borrows.
+/// `Default` starts at zero baselines, so the first read returns the
+/// registry's full contents as one initial window.
+#[derive(Debug, Clone, Default)]
+pub struct RegistryCursor {
+    counter_seen: Vec<u64>,
+    hist_seen: Vec<(u64, u64)>,
+    counter_out: Vec<(&'static str, u64)>,
+    hist_out: Vec<HistDelta>,
+}
+
+impl RegistryCursor {
+    /// Current scratch-buffer capacities `(counters, histograms)`.
+    /// Diagnostic surface for the zero-alloc-when-idle pin test.
+    pub fn scratch_capacity(&self) -> (usize, usize) {
+        (self.counter_out.capacity(), self.hist_out.capacity())
+    }
+
+    /// Append the cursor's baselines to a checkpoint. Scratch buffers
+    /// are transient (cleared at every window) and are not recorded.
+    pub fn save(&self, enc: &mut dcmaint_ckpt::Enc) {
+        enc.usize(self.counter_seen.len());
+        for &v in &self.counter_seen {
+            enc.u64(v);
+        }
+        enc.usize(self.hist_seen.len());
+        for &(t, s) in &self.hist_seen {
+            enc.u64(t);
+            enc.u64(s);
+        }
+    }
+
+    /// Inverse of [`RegistryCursor::save`]. Valid against the registry
+    /// restored from the same snapshot: save/load preserves series order,
+    /// so the index-keyed baselines line up exactly.
+    pub fn load(dec: &mut dcmaint_ckpt::Dec) -> Result<Self, dcmaint_ckpt::CkptError> {
+        let nc = dec.usize()?;
+        let mut counter_seen = Vec::with_capacity(nc.min(4096));
+        for _ in 0..nc {
+            counter_seen.push(dec.u64()?);
+        }
+        let nh = dec.usize()?;
+        let mut hist_seen = Vec::with_capacity(nh.min(4096));
+        for _ in 0..nh {
+            hist_seen.push((dec.u64()?, dec.u64()?));
+        }
+        Ok(RegistryCursor {
+            counter_seen,
+            hist_seen,
+            counter_out: Vec::new(),
+            hist_out: Vec::new(),
+        })
+    }
+}
+
+/// One histogram series' movement within a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistDelta {
+    /// Series family (`phase`, `span`, …).
+    pub family: &'static str,
+    /// Series key within the family.
+    pub key: &'static str,
+    /// Observations added this window.
+    pub total: u64,
+    /// Sum of observations added this window, in microseconds.
+    pub sum_us: u64,
+}
+
+/// Borrowed view of one incremental window from
+/// [`ObsRegistry::read_window`]: only the series that moved.
+#[derive(Debug)]
+pub struct WindowDelta<'c> {
+    /// `(name, delta)` for every counter that changed, first-touch order.
+    pub counters: &'c [(&'static str, u64)],
+    /// Movement per histogram series that changed, first-touch order.
+    pub hists: &'c [HistDelta],
+}
+
+impl WindowDelta<'_> {
+    /// Whether nothing moved this window.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty()
+    }
+
+    /// Delta for one counter this window (0 when it did not move).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.0 == name)
+            .map_or(0, |c| c.1)
     }
 }
 
@@ -421,6 +566,83 @@ mod tests {
         a.inc("ops");
         a.merge(&ObsRegistry::disabled());
         assert_eq!(a.counter("ops"), 1);
+    }
+
+    #[test]
+    fn read_window_returns_incremental_deltas() {
+        let mut r = ObsRegistry::enabled();
+        let mut cur = RegistryCursor::default();
+
+        r.add("ops", 3);
+        r.observe("phase", "grip", SimDuration::from_secs(2));
+        let w = r.read_window(&mut cur);
+        assert_eq!(w.counter("ops"), 3);
+        assert_eq!(w.hists.len(), 1);
+        assert_eq!(w.hists[0].total, 1);
+        assert_eq!(w.hists[0].sum_us, 2_000_000);
+
+        // Second window sees only what moved since the first.
+        r.add("ops", 2);
+        r.inc("faults");
+        r.observe("phase", "grip", SimDuration::from_secs(5));
+        let w = r.read_window(&mut cur);
+        assert_eq!(w.counter("ops"), 2);
+        assert_eq!(w.counter("faults"), 1);
+        assert_eq!(w.hists.len(), 1);
+        assert_eq!(w.hists[0].total, 1);
+        assert_eq!(w.hists[0].sum_us, 5_000_000);
+
+        // Nothing moved: the window is empty, flat series are skipped.
+        let w = r.read_window(&mut cur);
+        assert!(w.is_empty());
+        assert_eq!(w.counter("ops"), 0);
+    }
+
+    #[test]
+    fn read_window_handles_series_appearing_between_windows() {
+        let mut r = ObsRegistry::enabled();
+        let mut cur = RegistryCursor::default();
+        r.inc("a");
+        assert_eq!(r.read_window(&mut cur).counter("a"), 1);
+        // New series appended after the cursor was sized.
+        r.inc("b");
+        r.observe("span", "queued", SimDuration::from_secs(1));
+        let w = r.read_window(&mut cur);
+        assert_eq!(w.counter("a"), 0);
+        assert_eq!(w.counter("b"), 1);
+        assert_eq!(w.hists.len(), 1);
+        assert_eq!(w.hists[0].key, "queued");
+    }
+
+    #[test]
+    fn read_window_is_zero_alloc_when_idle() {
+        let mut r = ObsRegistry::enabled();
+        let mut cur = RegistryCursor::default();
+        r.add("ops", 7);
+        r.inc("faults");
+        r.observe("phase", "grip", SimDuration::from_secs(2));
+        r.observe("span", "queued", SimDuration::from_secs(9));
+        // Warm-up window sizes the scratch buffers.
+        assert!(!r.read_window(&mut cur).is_empty());
+        let warm = cur.scratch_capacity();
+        let warm_ptr = cur.counter_out.as_ptr();
+
+        // Idle windows: no movement ⇒ no growth, no reallocation. The
+        // buffer pointer pin makes a sneaky clear-and-collect rewrite
+        // (which would allocate fresh Vecs per tick) fail loudly.
+        for _ in 0..16 {
+            assert!(r.read_window(&mut cur).is_empty());
+            assert_eq!(cur.scratch_capacity(), warm);
+            assert_eq!(cur.counter_out.as_ptr(), warm_ptr);
+        }
+
+        // Even a busy window reuses the warmed buffers: same series set
+        // moving again fits in the existing capacity.
+        r.add("ops", 1);
+        r.observe("phase", "grip", SimDuration::from_secs(1));
+        assert_eq!(r.read_window(&mut cur).counter("ops"), 1);
+        assert_eq!(cur.scratch_capacity(), warm);
+        assert_eq!(cur.counter_out.as_ptr(), warm_ptr);
     }
 
     #[test]

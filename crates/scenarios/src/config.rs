@@ -148,6 +148,19 @@ pub struct ScenarioConfig {
     /// DESIGN §3.14). `Ladder` is the default and leaves the engine
     /// byte-identical to the pre-twin code.
     pub twin: dcmaint_twin::TwinPolicy,
+    /// MAPE-K autonomic control plane (DESIGN §3.16): a periodic
+    /// monitor→analyze→plan→execute loop that tunes the robot-
+    /// concurrency cap, proactive-campaign trigger, and provisioning
+    /// margin online from windowed `ObsRegistry` reads. `None` (the
+    /// default) leaves the engine byte-identical to the pre-autonomic
+    /// code. `Some` force-enables the registry and trace store so the
+    /// monitor has data regardless of the obs switches.
+    pub autonomic: Option<dcmaint_autonomic::AutonomicConfig>,
+    /// Static robot-concurrency cap: at most this many robot repairs in
+    /// flight; dispatch beyond it falls back to humans. `None` means
+    /// uncapped (pre-existing behavior). The autonomic plane, when on,
+    /// supersedes this with its tuned live cap.
+    pub fleet_active_cap: Option<usize>,
     /// **Deliberately breaks determinism** (demo/testing only): routes
     /// fault targeting through a `HashMap`, whose iteration order varies
     /// per map instance. Exists so `selfmaint bisect` has a reproducible
@@ -204,6 +217,8 @@ impl ScenarioConfig {
             recovery: RecoveryPolicy::default(),
             obs: ObsConfig::default(),
             twin: dcmaint_twin::TwinPolicy::Ladder,
+            autonomic: None,
+            fleet_active_cap: None,
             nondet_demo: false,
         }
     }

@@ -87,6 +87,10 @@ pub(crate) enum Ev {
     ProactiveOpen { link: LinkId },
     /// Predictive scorer tick.
     PredictiveScan,
+    /// MAPE-K autonomic loop tick (DESIGN §3.16): monitor the registry
+    /// window, update the knowledge posteriors, and apply guarded knob
+    /// moves.
+    AutonomicTick,
     /// A scripted (failure-injection) incident fires.
     Scripted { link: LinkId, cause: RootCause },
     /// Resolve a prediction label after the horizon.
@@ -127,6 +131,7 @@ impl Ev {
             Ev::ProactiveScan => "proactive-scan",
             Ev::ProactiveOpen { .. } => "proactive-open",
             Ev::PredictiveScan => "predictive-scan",
+            Ev::AutonomicTick => "autonomic-tick",
             Ev::Scripted { .. } => "scripted",
             Ev::PredictiveLabel { .. } => "predictive-label",
             Ev::OpStalled { .. } => "op-stalled",
@@ -170,6 +175,7 @@ impl Ev {
                 "prof/ev/predictive-label",
                 "prof/sub/controller",
             ),
+            Ev::AutonomicTick => ("autonomic", "prof/ev/autonomic-tick", "prof/sub/autonomic"),
             Ev::RepairStart { .. } => ("robotics", "prof/ev/repair-start", "prof/sub/robotics"),
             Ev::RepairDone { .. } => ("robotics", "prof/ev/repair-done", "prof/sub/robotics"),
             Ev::OpStalled { .. } => ("robotics", "prof/ev/op-stalled", "prof/sub/robotics"),
@@ -343,6 +349,13 @@ pub struct Engine {
     pub(crate) twin_committed: u64,
     /// Σ predicted availability of the chosen branch (per decision).
     pub(crate) twin_pred_avail_sum: f64,
+    // Autonomic MAPE-K plane (DESIGN §3.16) — None when cfg.autonomic
+    // is None, leaving every pre-existing run byte-identical.
+    pub(crate) autonomic: Option<dcmaint_autonomic::Mape>,
+    /// Autonomic-loop draws (the per-tick exploration gate). A fresh
+    /// stream so enabling the loop never perturbs the draws of the
+    /// pre-existing processes.
+    pub(crate) autonomic_rng: Stream,
     // Observability plane (all inert when cfg.obs is disabled).
     pub(crate) journal: Journal,
     pub(crate) registry: ObsRegistry,
@@ -435,6 +448,8 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
         ops: rng.stream("engine-ops", 0),
         faults_rng: rng.stream("robot-faults", 0),
         recovery_rng: rng.stream("recovery", 0),
+        autonomic_rng: rng.stream("autonomic", 0),
+        autonomic: cfg.autonomic.clone().map(dcmaint_autonomic::Mape::new),
         attempt_seq: 0,
         recovery_state: BTreeMap::new(),
         exclude_unit: BTreeMap::new(),
@@ -443,15 +458,19 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
         avail: FleetAvailability::new(SimTime::ZERO),
         costs: CostLedger::new(),
         zones: ZoneLedger::new(SafetyConfig::default()),
-        // The registry is the meeting point of the two observability
+        // The registry is the meeting point of the observability
         // switches: journal/trace counters need `enabled`, the
-        // self-profiler's `prof/…` counts need `profiling`.
-        registry: if cfg.obs.enabled || cfg.obs.profiling {
+        // self-profiler's `prof/…` counts need `profiling`, and the
+        // autonomic monitor needs windowed reads. The trace store also
+        // runs under autonomic (it feeds the window/span histograms the
+        // monitor consumes), so toggling obs on top of an autonomic run
+        // never changes what the MAPE loop sees.
+        registry: if cfg.obs.enabled || cfg.obs.profiling || cfg.autonomic.is_some() {
             ObsRegistry::enabled()
         } else {
             ObsRegistry::disabled()
         },
-        traces: if cfg.obs.enabled {
+        traces: if cfg.obs.enabled || cfg.autonomic.is_some() {
             TraceStore::enabled()
         } else {
             TraceStore::disabled()
@@ -542,6 +561,18 @@ fn build_engine(cfg: ScenarioConfig) -> Engine {
     if let Some(pc) = eng.controller.predictive_config() {
         let period = pc.scan_period;
         eng.sched.schedule_in(period, Ev::PredictiveScan);
+    }
+    if let Some(ac) = &eng.cfg.autonomic {
+        eng.sched.schedule_in(ac.tick_period, Ev::AutonomicTick);
+        // Mirror the loop's proactive-trigger knob into the planner:
+        // the planner's own save excludes config, so this is also what
+        // re-applies a tuned trigger after a checkpoint restore.
+        let trigger = eng.autonomic.as_ref().map(|m| m.proactive_trigger());
+        if let Some(t) = trigger {
+            if let Some(p) = eng.controller.proactive_mut() {
+                p.set_trigger_count(t);
+            }
+        }
     }
     eng
 }
@@ -687,6 +718,16 @@ impl Engine {
         let mut cands = vec![Candidate::ladder()];
         for a in RepairAction::LADDER {
             if a.applicable(medium) {
+                // Live-posterior pruning (DESIGN §3.16): when the
+                // autonomic knowledge base has enough evidence that an
+                // action almost never fixes anything, skip its branch
+                // instead of spending forks rehearsing it. The ladder
+                // candidate itself is never pruned.
+                if let Some(mape) = &self.autonomic {
+                    if mape.action_discredited(a.label(), 0.12) {
+                        continue;
+                    }
+                }
                 cands.push(Candidate {
                     action: Some(a),
                     human: false,
@@ -835,6 +876,7 @@ impl Engine {
             Ev::ProactiveScan => self.on_proactive_scan(now, sched),
             Ev::ProactiveOpen { link } => self.on_proactive_open(link, now, sched),
             Ev::PredictiveScan => self.on_predictive_scan(now, sched),
+            Ev::AutonomicTick => self.on_autonomic_tick(now, sched),
             Ev::Scripted { link, cause } => {
                 if self.links_rt[link.index()].incident.is_none() {
                     self.start_incident(link, cause, false, now, sched);
@@ -1262,6 +1304,28 @@ impl Engine {
         // rule after an unsafe abort): this ticket is humans-only now.
         if self.forced_human.contains(&ticket) {
             executor = Executor::Human;
+        }
+        // Robot-concurrency cap — the autonomic plane's live knob, or
+        // the static `fleet_active_cap` when the loop is off. At the
+        // cap, dispatch falls back to a technician instead of queueing
+        // more work onto the saturated fleet.
+        let cap = self
+            .autonomic
+            .as_ref()
+            .map(|m| m.fleet_cap())
+            .or(self.cfg.fleet_active_cap);
+        if let Some(cap) = cap {
+            if executor.is_robotic() {
+                let busy = self
+                    .active
+                    .values()
+                    .filter(|r| r.robot_unit.is_some())
+                    .count();
+                if busy >= cap {
+                    executor = Executor::Human;
+                    self.registry.inc("dispatch/cap-human");
+                }
+            }
         }
         let expected = self.estimate_duration(action, executor);
         if !self.cfg.coordinate_drains {
@@ -1831,6 +1895,13 @@ impl Engine {
             if !repair.human_botched {
                 fixed = repair.action.attempt(cause, medium, &mut self.outcomes);
             }
+            // Autonomic knowledge: every resolved reactive attempt
+            // updates the cause×action efficacy posterior (the cause is
+            // diagnosed during the hands-on work, so this is
+            // policy-visible only post-repair).
+            if let Some(mape) = self.autonomic.as_mut() {
+                mape.observe_repair(cause.label(), repair.action.label(), fixed);
+            }
         }
         // Maintenance side effects (apply whether or not an incident was
         // present — proactive work lands here with `cause == None`).
@@ -2370,6 +2441,79 @@ impl Engine {
         }
     }
 
+    // ----- autonomic MAPE-K loop (DESIGN §3.16) -----------------------
+
+    fn on_autonomic_tick(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some(ac) = &self.cfg.autonomic else {
+            return;
+        };
+        let tick_period = ac.tick_period;
+        sched.schedule_in(tick_period, Ev::AutonomicTick);
+        let robots_busy = self
+            .active
+            .values()
+            .filter(|r| r.robot_unit.is_some())
+            .count() as u64;
+        let ctx = dcmaint_autonomic::TickContext {
+            elapsed: tick_period,
+            open_tickets: self.board.open_count() as u64,
+            robots_busy,
+            links: self.topo.link_count() as u64,
+        };
+        let Some(mape) = self.autonomic.as_mut() else {
+            return;
+        };
+        let directives = mape.tick(&self.registry, ctx, &mut self.autonomic_rng);
+        self.registry.inc("autonomic/tick");
+        self.journal.set_now(now);
+        for d in &directives {
+            match *d {
+                dcmaint_autonomic::Directive::Knob { knob, from, to }
+                | dcmaint_autonomic::Directive::Rollback { knob, from, to } => {
+                    let rollback = matches!(d, dcmaint_autonomic::Directive::Rollback { .. });
+                    // Mirror the loop's tuned value into the component
+                    // that actually consumes it. The fleet cap needs no
+                    // mirror — dispatch reads it live off the Mape.
+                    if knob == dcmaint_autonomic::KNOB_PROACTIVE_TRIGGER {
+                        if let Some(p) = self.controller.proactive_mut() {
+                            p.set_trigger_count(to as usize);
+                        }
+                    }
+                    self.registry.inc(if rollback {
+                        "autonomic/rollback"
+                    } else {
+                        "autonomic/knob-move"
+                    });
+                    self.journal.emit(
+                        "autonomic",
+                        &[
+                            ("knob", JVal::S(knob)),
+                            ("from", JVal::U(from)),
+                            ("to", JVal::U(to)),
+                            ("rollback", JVal::B(rollback)),
+                        ],
+                    );
+                }
+                dcmaint_autonomic::Directive::Reprior { rate_per_link_day } => {
+                    // Re-anchor the predictive scorer's intercept to the
+                    // drifted base rate, converted to its label horizon.
+                    let horizon_days = self
+                        .controller
+                        .predictive_config()
+                        .map(|pc| pc.label_horizon.as_micros() as f64 / 86_400e6);
+                    if let (Some(h), Some(pred)) = (horizon_days, self.controller.predictor_mut()) {
+                        pred.reprior((rate_per_link_day * h).clamp(1e-6, 0.5));
+                    }
+                    self.registry.inc("autonomic/reprior");
+                    self.journal.emit(
+                        "autonomic",
+                        &[("reprior_rate_per_link_day", JVal::F(rate_per_link_day))],
+                    );
+                }
+            }
+        }
+    }
+
     // ----- finish -----------------------------------------------------
 
     fn finish(mut self, horizon: SimTime) -> RunReport {
@@ -2445,6 +2589,8 @@ impl Engine {
             self.registry.add("prof/sched/compactions", sp.compactions);
             self.registry.add("prof/sched/max-pending", sp.max_pending);
         }
+        // Read before the registry moves into the obs report below.
+        let cap_fallbacks = self.registry.counter("dispatch/cap-human");
         // Package the observability capture. `None` when both switches
         // are off, so disabled-mode reports (and anything serialized
         // from them) are unchanged. A profiling-only run carries an
@@ -2483,6 +2629,23 @@ impl Engine {
                 },
             }),
         };
+        // Autonomic loop stats: `None` when the loop is off, so existing
+        // reports (and their serialized forms) are byte-unchanged.
+        let autonomic = self.autonomic.as_ref().map(|m| {
+            let (posteriors_converged, posteriors_total) = m.convergence();
+            crate::report::AutonomicReport {
+                ticks: m.ticks(),
+                decisions: m.decisions(),
+                applied: m.applied(),
+                rollbacks: m.rollbacks(),
+                fleet_cap: m.fleet_cap() as u64,
+                proactive_trigger: m.proactive_trigger() as u64,
+                provision_spares: m.provision_spares() as u64,
+                posteriors_converged,
+                posteriors_total,
+                cap_fallbacks,
+            }
+        });
         RunReport {
             duration: self.cfg.duration,
             ended_at: horizon,
@@ -2527,6 +2690,7 @@ impl Engine {
             drains_leaked,
             obs,
             twin,
+            autonomic,
         }
     }
 }

@@ -21,6 +21,7 @@ pub mod e12_reconfig;
 pub mod e13_timing;
 pub mod e14_robustness;
 pub mod e15_twin;
+pub mod e16_drift;
 pub mod e1_service_window;
 pub mod e2_escalation;
 pub mod e3_cascade;
@@ -37,6 +38,7 @@ pub use e12_reconfig as e12;
 pub use e13_timing as e13;
 pub use e14_robustness as e14;
 pub use e15_twin as e15;
+pub use e16_drift as e16;
 pub use e1_service_window as e1;
 pub use e2_escalation as e2;
 pub use e3_cascade as e3;

@@ -165,6 +165,10 @@ pub struct RunReport {
     /// used the `TwinGuided` policy. `None` keeps ladder reports — and
     /// their JSON — byte-identical to the pre-twin engine.
     pub twin: Option<TwinReport>,
+    /// MAPE-K loop stats (DESIGN §3.16): present only when the run
+    /// enabled the autonomic plane. `None` keeps static-policy reports —
+    /// and their JSON — byte-identical to the pre-autonomic engine.
+    pub autonomic: Option<AutonomicReport>,
 }
 
 /// Digital-twin planner accounting for one run.
@@ -178,6 +182,32 @@ pub struct TwinReport {
     pub committed: u64,
     /// Mean predicted availability of the chosen branch at its horizon.
     pub mean_predicted_availability: f64,
+}
+
+/// MAPE-K autonomic-loop accounting for one run (DESIGN §3.16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutonomicReport {
+    /// Monitor→Execute passes completed.
+    pub ticks: u64,
+    /// Knob moves the planner decided (including later rollbacks).
+    pub decisions: u64,
+    /// Directives the engine executed.
+    pub applied: u64,
+    /// Moves reverted by the regression guardrail.
+    pub rollbacks: u64,
+    /// Final tuned robot-concurrency cap.
+    pub fleet_cap: u64,
+    /// Final tuned proactive-campaign trigger count.
+    pub proactive_trigger: u64,
+    /// Final advised right-provisioning spare margin.
+    pub provision_spares: u64,
+    /// Cause×action posteriors with a 95% interval narrower than
+    /// [`dcmaint_autonomic::CONVERGED_WIDTH`].
+    pub posteriors_converged: u64,
+    /// Cause×action posteriors tracked in total.
+    pub posteriors_total: u64,
+    /// Robot dispatches redirected to humans by the concurrency cap.
+    pub cap_fallbacks: u64,
 }
 
 impl RunReport {
@@ -285,6 +315,25 @@ impl RunReport {
             });
             if let serde_json::Value::Object(map) = &mut j {
                 map.insert("twin".to_string(), twin_json);
+            }
+        }
+        // Ditto "autonomic": only when the MAPE-K loop ran, so static-
+        // policy JSON is byte-identical to the pre-autonomic CLI.
+        if let Some(a) = &self.autonomic {
+            let a_json = json!({
+                "ticks": a.ticks,
+                "decisions": a.decisions,
+                "applied": a.applied,
+                "rollbacks": a.rollbacks,
+                "fleet_cap": a.fleet_cap,
+                "proactive_trigger": a.proactive_trigger,
+                "provision_spares": a.provision_spares,
+                "posteriors_converged": a.posteriors_converged,
+                "posteriors_total": a.posteriors_total,
+                "cap_fallbacks": a.cap_fallbacks,
+            });
+            if let serde_json::Value::Object(map) = &mut j {
+                map.insert("autonomic".to_string(), a_json);
             }
         }
         j
@@ -485,6 +534,7 @@ mod tests {
             drains_leaked: 0,
             obs: None,
             twin: None,
+            autonomic: None,
         };
         let j = r.summary_json();
         for key in [

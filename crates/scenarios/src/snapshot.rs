@@ -209,6 +209,7 @@ fn save_ev(enc: &mut Enc, ev: &Ev) {
             enc.u8(18);
             enc.usize(*unit);
         }
+        Ev::AutonomicTick => enc.u8(19),
     }
 }
 
@@ -283,6 +284,7 @@ fn load_ev(dec: &mut Dec) -> Result<Ev, CkptError> {
             attempt: dec.u64()?,
         },
         18 => Ev::RobotRecovered { unit: dec.usize()? },
+        19 => Ev::AutonomicTick,
         t => return Err(CkptError::BadTag("event", t as u64)),
     })
 }
@@ -855,6 +857,19 @@ impl Engine {
         self.journal.save(enc);
         self.registry.save(enc);
         self.traces.save(enc);
+
+        // Autonomic MAPE-K loop (format v4): knowledge posteriors, tuned
+        // knobs, guardrail bookkeeping, the monitor's cursor baselines,
+        // and the loop's RNG position — everything a restored run needs
+        // to keep adapting exactly as a continuous one would.
+        match &self.autonomic {
+            Some(m) => {
+                enc.bool(true);
+                m.save(enc);
+            }
+            None => enc.bool(false),
+        }
+        enc.u64(self.autonomic_rng.draws());
     }
 
     fn restore_state(&mut self, dec: &mut Dec, rng: RestoreRng<'_>) -> Result<(), CkptError> {
@@ -1105,6 +1120,27 @@ impl Engine {
         self.journal.restore(dec)?;
         self.registry = ObsRegistry::load(dec)?;
         self.traces = TraceStore::load(dec)?;
+
+        // Autonomic MAPE-K loop (format v4). Presence must match the
+        // config: a snapshot taken with the loop on cannot restore into
+        // a config with it off (or vice versa) — the event stream and
+        // RNG draws would diverge immediately anyway.
+        let had_autonomic = dec.bool()?;
+        match (had_autonomic, self.autonomic.as_mut()) {
+            (true, Some(m)) => m.restore(dec)?,
+            (false, None) => {}
+            (present, _) => {
+                return Err(CkptError::BadTag("autonomic-presence", present as u64));
+            }
+        }
+        // The tuned trigger lives in the Mape; the planner was rebuilt
+        // from config above, so re-mirror the restored value into it.
+        let trigger = self.autonomic.as_ref().map(|m| m.proactive_trigger());
+        if let (Some(t), Some(p)) = (trigger, self.controller.proactive_mut()) {
+            p.set_trigger_count(t);
+        }
+        self.autonomic_rng
+            .restore_pos(dec.u64()?, s(|e| &e.autonomic_rng));
         Ok(())
     }
 }

@@ -33,9 +33,9 @@ use crate::experiments::{self as exp, fdur};
 use crate::report::SweepMetrics;
 
 /// Canonical experiment order — the order the legacy binary printed in.
-pub const EXPERIMENTS: [&str; 18] = [
+pub const EXPERIMENTS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "a1", "a2", "a3",
+    "e16", "a1", "a2", "a3",
 ];
 
 /// Is `name` a known experiment id?
@@ -148,6 +148,14 @@ pub fn run_one(name: &str, seed: u64, quick: bool) -> Vec<Table> {
                 exp::e15::E15Params::full(seed)
             };
             vec![exp::e15::table(&exp::e15::run_experiment(&p))]
+        }
+        "e16" => {
+            let p = if quick {
+                exp::e16::E16Params::quick(&[seed])
+            } else {
+                exp::e16::E16Params::full(&[seed])
+            };
+            vec![exp::e16::table(&exp::e16::run_experiment(&p))]
         }
         "a1" => vec![exp::ablations::a1_table(&exp::ablations::run_a1(
             &exp::ablations::AblationParams::full(seed),
@@ -263,6 +271,11 @@ pub struct EngineSweepParams {
     /// per-job `prof/…` registries into one fleet profile. Independent
     /// of `obs` — it adds no journal lines.
     pub profiling: bool,
+    /// Run every job with the MAPE-K autonomic loop on (default
+    /// config). The loop's own RNG stream and the pool's plan-order
+    /// merge keep output bytes independent of `jobs` — the exact-A/B
+    /// contract `selfmaint sweep --autonomic` is gated on in CI.
+    pub autonomic: bool,
     /// Test hook: make plan job #i panic instead of running, to
     /// demonstrate (and test) panic containment end to end.
     pub inject_panic: Option<usize>,
@@ -288,6 +301,7 @@ impl EngineSweepParams {
             small_fabric: false,
             obs: false,
             profiling: false,
+            autonomic: false,
             inject_panic: None,
             manifest: None,
             resume: false,
@@ -433,6 +447,9 @@ fn engine_config(p: &EngineSweepParams, level: AutomationLevel, seed: u64) -> Sc
     }
     if p.profiling {
         cfg.obs.profiling = true;
+    }
+    if p.autonomic {
+        cfg.autonomic = Some(dcmaint_autonomic::AutonomicConfig::default());
     }
     cfg
 }
@@ -653,10 +670,26 @@ mod tests {
             small_fabric: true,
             obs: false,
             profiling: false,
+            autonomic: false,
             inject_panic: None,
             manifest: None,
             resume: false,
         }
+    }
+
+    #[test]
+    fn engine_sweep_autonomic_is_byte_identical_across_worker_counts() {
+        // The exact-A/B contract for `--autonomic`: the loop's own RNG
+        // stream and the plan-order merge keep bytes independent of the
+        // worker count, so `--jobs 1` vs `--jobs N` diffs clean in CI.
+        let mut p = quick_params(2, 1);
+        p.autonomic = true;
+        let a = run_engine_sweep(&p);
+        p.jobs = 4;
+        let b = run_engine_sweep(&p);
+        assert_eq!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+        assert_eq!(a.table.render(), b.table.render());
+        assert!(a.failures.is_empty());
     }
 
     #[test]
@@ -858,7 +891,8 @@ mod tests {
         assert!(is_experiment("e1"));
         assert!(is_experiment("a3"));
         assert!(is_experiment("e15"));
-        assert!(!is_experiment("e16"));
+        assert!(is_experiment("e16"));
+        assert!(!is_experiment("e17"));
         assert!(!is_experiment("--csv"));
     }
 }

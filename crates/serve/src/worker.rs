@@ -419,6 +419,7 @@ fn attempt_sweep(shared: &Arc<Shared>, job: &JobRecord) -> Attempt {
         small_fabric: spec.quick,
         obs: spec.obs,
         profiling: spec.profile,
+        autonomic: false,
         inject_panic: None,
         manifest: Some(
             shared

@@ -24,8 +24,12 @@
 //!                  # output stays byte-reproducible)
 //! selfmaint sweep  [--seeds 8] [--jobs 1] [--days 14] [--seed 42]
 //!                  [--level L3|all] [--quick] [--csv] [--obs]
-//!                  [--journal PATH] [--bench-sweep] [--inject-panic I]
-//!                  [--manifest DIR] [--resume]
+//!                  [--autonomic] [--journal PATH] [--bench-sweep]
+//!                  [--inject-panic I] [--manifest DIR] [--resume]
+//!                  # --autonomic runs every job with the MAPE-K loop on
+//!                  # (DESIGN §3.16); stdout stays byte-identical for any
+//!                  # --jobs value, giving an exact A/B against the same
+//!                  # sweep without the flag
 //!                  # seed-replicated level sweep on the work-stealing
 //!                  # pool: mean ±95% CI columns, merged observability,
 //!                  # byte-identical stdout for any --jobs value; wall
@@ -60,6 +64,18 @@
 //!                  # write BENCH_twin.json — planner accounting in the
 //!                  # deterministic subtree, decisions/sec and mean
 //!                  # decision latency in the timing subtree
+//! selfmaint tune   [--days 14] [--seed 42] [--seeds 1] [--tick-hours 2]
+//!                  [--full] [--json] [--out BENCH_autonomic.json]
+//!                  # autonomic MAPE-K benchmark (DESIGN §3.16): run the
+//!                  # E16 drift cell statically tuned and with the loop
+//!                  # on at the same seeds, print the deterministic
+//!                  # static-vs-autonomic comparison (byte-identical
+//!                  # across reruns), and write BENCH_autonomic.json —
+//!                  # ticks, directives, rollbacks, posterior
+//!                  # convergence, and the availability delta (ppb) in
+//!                  # the deterministic subtree; adaptation
+//!                  # decisions/sec and mean tick latency in the timing
+//!                  # subtree
 //! selfmaint bisect [--level L3] [--days 12] [--seed 42] [--seed-b S]
 //!                  [--interval-days 2] [--quick] [--out PATH]
 //!                  # divergence bisector: advance two runs checkpoint by
@@ -101,7 +117,10 @@
 
 #![forbid(unsafe_code)]
 
-use selfmaint::bench::{run_profile, run_twin_bench, BenchReport, ProfileParams, TwinBenchParams};
+use selfmaint::bench::{
+    run_autonomic_bench, run_profile, run_twin_bench, AutonomicBenchParams, BenchReport,
+    ProfileParams, TwinBenchParams,
+};
 use selfmaint::ckpt::Snapshot;
 use selfmaint::control::{advise, ControllerConfig};
 use selfmaint::metrics::{fnum, nines, Align, Table};
@@ -154,6 +173,11 @@ const SUBCOMMANDS: &[Subcommand] = &[
         "plan",
         "twin planner bench: ladder vs twin-guided, BENCH_twin.json",
         cmd_plan,
+    ),
+    (
+        "tune",
+        "autonomic MAPE-K bench: static vs adaptive, BENCH_autonomic.json",
+        cmd_tune,
     ),
     (
         "bisect",
@@ -673,6 +697,7 @@ fn cmd_sweep(args: &[String]) {
         small_fabric: quick,
         obs,
         profiling: flag(args, "--profile"),
+        autonomic: flag(args, "--autonomic"),
         inject_panic,
         manifest,
         resume,
@@ -971,6 +996,87 @@ fn cmd_plan(args: &[String]) {
     eprintln!("twin planner bench written to {out_path}");
 }
 
+/// The autonomic MAPE-K benchmark: the E16 drift cell under a static
+/// policy and under the loop (DESIGN §3.16). The comparison table on
+/// stdout is built only from the report's `deterministic` subtree, so
+/// it is byte-identical across reruns; adaptation throughput goes to
+/// stderr and `BENCH_autonomic.json`.
+fn cmd_tune(args: &[String]) {
+    let p = AutonomicBenchParams {
+        level: parse_level(opt(args, "--level").unwrap_or("L3")),
+        days: parse_opt_or_exit(args, "--days", 14),
+        base_seed: parse_opt_or_exit(args, "--seed", 42),
+        seeds: parse_opt_or_exit(args, "--seeds", 1),
+        tick_hours: parse_opt_or_exit(args, "--tick-hours", 2),
+        quick: !flag(args, "--full"),
+    };
+    if p.seeds == 0 || p.days == 0 || p.tick_hours == 0 {
+        eprintln!("--seeds, --days and --tick-hours must be at least 1");
+        std::process::exit(2);
+    }
+    let out_path = opt(args, "--out")
+        .unwrap_or("BENCH_autonomic.json")
+        .to_string();
+
+    eprintln!("autonomic bench {}…", p.scenario_label());
+    let out = run_autonomic_bench(&p);
+    let report = &out.report;
+
+    if flag(args, "--json") {
+        print!("{}", report.to_json());
+    } else {
+        let det = &report.deterministic;
+        let mut t = Table::new(
+            &format!("autonomic loop vs static tuning — {}", p.scenario_label()),
+            &[("metric", Align::Left), ("value", Align::Right)],
+        );
+        t.row(vec![
+            "static availability".into(),
+            fnum(out.static_availability, 6),
+        ]);
+        t.row(vec![
+            "autonomic availability".into(),
+            fnum(out.autonomic_availability, 6),
+        ]);
+        t.row(vec![
+            "delta (ppb)".into(),
+            format!(
+                "{:+}",
+                det["autonomic-availability-ppb"] as i64 - det["static-availability-ppb"] as i64
+            ),
+        ]);
+        t.row(vec!["ticks".into(), out.ticks.to_string()]);
+        t.row(vec!["decisions".into(), det["decisions"].to_string()]);
+        t.row(vec!["applied".into(), out.applied.to_string()]);
+        t.row(vec!["rollbacks".into(), out.rollbacks.to_string()]);
+        t.row(vec![
+            "cap fallbacks".into(),
+            det["cap-fallbacks"].to_string(),
+        ]);
+        t.row(vec![
+            "posteriors converged".into(),
+            format!("{}/{}", out.posteriors.0, out.posteriors.1),
+        ]);
+        t.row(vec!["seeds".into(), det["seeds"].to_string()]);
+        print!("{}", t.render());
+    }
+
+    eprintln!(
+        "wall: {:.2}s   autonomic spans: {:.3}s   decisions/sec: {:.1}   \
+         mean tick latency: {:.2}ms",
+        out.wall_s,
+        report.timing["autonomic-span-s"],
+        report.timing["decisions-per-sec"],
+        report.timing["mean-tick-latency-s"] * 1e3,
+    );
+
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("autonomic bench written to {out_path}");
+}
+
 /// The `--baseline` compare mode: delta table against a previous
 /// `BENCH_engine.json`, exit 1 past the regression threshold unless
 /// `--report-only`. CI enforces this gate with a generous explicit
@@ -1170,8 +1276,8 @@ mod tests {
         assert_eq!(
             names,
             [
-                "run", "advise", "topo", "levels", "trace", "sweep", "profile", "plan", "bisect",
-                "lint", "serve"
+                "run", "advise", "topo", "levels", "trace", "sweep", "profile", "plan", "tune",
+                "bisect", "lint", "serve"
             ],
             "subcommand surface changed — update this test and the crate docs"
         );

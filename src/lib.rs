@@ -42,6 +42,7 @@
 //! | [`metrics`] | `dcmaint-metrics` | stats, availability, costs, tables |
 //! | [`sweep`] | `dcmaint-sweep` | work-stealing pool, canonical merge, seed-replicate CI aggregation |
 //! | [`twin`] | `dcmaint-twin` | digital-twin forking: model-predictive repair planning policy |
+//! | [`autonomic`] | `dcmaint-autonomic` | MAPE-K control plane: windowed monitoring, efficacy posteriors, guardrailed online knob tuning |
 //! | [`scenarios`] | `dcmaint-scenarios` | the engine + experiments E1–E11, sweep orchestration |
 //! | [`serve`] | `dcmaint-serve` | crash-tolerant maintenance-plane daemon: durable job queue, supervised worker, live journal fan-out |
 //! | [`bench`](mod@bench) | `dcmaint-bench` | `BenchReport` perf-artifact schema + the `selfmaint profile` engine self-profiling harness |
@@ -60,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dcmaint_autonomic as autonomic;
 pub use dcmaint_bench as bench;
 pub use dcmaint_ckpt as ckpt;
 pub use dcmaint_dcnet as net;

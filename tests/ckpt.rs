@@ -24,6 +24,19 @@ fn small(seed: u64, level: AutomationLevel, obs: bool) -> ScenarioConfig {
     cfg
 }
 
+fn small_autonomic(seed: u64, level: AutomationLevel, obs: bool) -> ScenarioConfig {
+    let mut cfg = small(seed, level, obs);
+    // A fast loop so several MAPE-K ticks (and likely a knob move) land
+    // on both sides of any cut point — the adaptation state and the
+    // monitor's cursor baselines must survive the snapshot.
+    cfg.autonomic = Some(selfmaint::autonomic::AutonomicConfig {
+        tick_period: SimDuration::from_hours(2),
+        fleet_cap_start: 1,
+        ..selfmaint::autonomic::AutonomicConfig::default()
+    });
+    cfg
+}
+
 /// Levels that exercise the three interesting regimes: humans only,
 /// autonomous robots, and the full proactive/predictive loop.
 const LEVELS: [AutomationLevel; 3] = [
@@ -64,6 +77,49 @@ proptest! {
         prop_assert_eq!(cont.state_hash(), tail.state_hash(), "final states match");
         let mut a = cont.finish_report();
         let mut b = tail.finish_report();
+        prop_assert_eq!(a.summary_json(), b.summary_json());
+        if obs {
+            let ja = &a.obs.as_ref().expect("obs on").journal;
+            let jb = &b.obs.as_ref().expect("obs on").journal;
+            prop_assert_eq!(ja, jb, "journals must be byte-identical");
+        }
+    }
+
+    /// The same contract with the MAPE-K loop running: posteriors, EWMA
+    /// drift state, tuned knobs, guardrail bookkeeping, the monitor's
+    /// cursor baselines, and the loop's RNG position all ride the
+    /// snapshot, so a restored run keeps adapting exactly as the
+    /// uninterrupted one — down to the adaptation counters in the
+    /// summary JSON (and every journal line when obs is on).
+    #[test]
+    fn restore_equals_continuous_with_autonomic(
+        seed in 0u64..10_000,
+        cut_days in 1u64..10,
+        level_i in 0usize..LEVELS.len(),
+        obs_bit in 0u8..2,
+    ) {
+        let obs = obs_bit == 1;
+        let cfg = small_autonomic(seed, LEVELS[level_i], obs);
+        let end = SimTime::ZERO + cfg.duration;
+
+        let mut cont = Engine::new(cfg.clone());
+        cont.run_until(end);
+
+        let mut head = Engine::new(cfg.clone());
+        head.run_until(SimTime::ZERO + SimDuration::from_days(cut_days));
+        let snap = head.snapshot();
+        let mut tail = Engine::restore(cfg, &snap).expect("restore");
+        prop_assert_eq!(tail.state_hash(), head.state_hash(), "restore is lossless");
+        tail.run_until(end);
+
+        prop_assert_eq!(cont.state_hash(), tail.state_hash(), "final states match");
+        let mut a = cont.finish_report();
+        let mut b = tail.finish_report();
+        prop_assert_eq!(
+            a.autonomic.clone().expect("loop on"),
+            b.autonomic.clone().expect("loop on"),
+            "adaptation state diverged across the restore"
+        );
         prop_assert_eq!(a.summary_json(), b.summary_json());
         if obs {
             let ja = &a.obs.as_ref().expect("obs on").journal;

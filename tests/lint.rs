@@ -36,6 +36,7 @@ fn workspace_is_lint_clean() {
 fn wall_clock_consumers_are_exactly_the_sanctioned_set() {
     const SANCTUARY: &str = "crates/obs/src/wall.rs";
     const SANCTIONED: &[&str] = &[
+        "crates/bench/src/autonomic.rs",
         "crates/bench/src/profile.rs",
         "crates/bench/src/twin.rs",
         "crates/obs/src/wall.rs",

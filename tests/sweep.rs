@@ -17,6 +17,7 @@ fn tiny(seeds: u64, jobs: usize, obs: bool) -> EngineSweepParams {
         small_fabric: true,
         obs,
         profiling: false,
+        autonomic: false,
         inject_panic: None,
         manifest: None,
         resume: false,
